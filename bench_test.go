@@ -1,0 +1,382 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (scaled to benchmark-friendly sizes: 8-ary 2-cube, short windows; run
+// cmd/charsweep without -quick for full-fidelity sweeps), plus
+// micro-benchmarks and the ablations called out in DESIGN.md.
+//
+//	go test -bench=. -benchmem
+package flexsim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"flexsim/internal/core"
+	"flexsim/internal/cwg"
+	"flexsim/internal/detect"
+	"flexsim/internal/experiments"
+	"flexsim/internal/network"
+	"flexsim/internal/rng"
+	"flexsim/internal/routing"
+	"flexsim/internal/sim"
+	"flexsim/internal/topology"
+)
+
+// benchOpts shrinks experiment sweeps so one bench iteration stays ~O(1s).
+func benchOpts() experiments.Options {
+	return experiments.Options{Quick: true, Loads: []float64{0.4, 1.0}, Seed: 7}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	f, err := experiments.ByName(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := f(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure -----------------------------------
+
+// BenchmarkFig5a / Fig5b: bidirectionality study (normalized deadlocks and
+// deadlock set sizes vs load, DOR, 1 VC, uni vs bi torus).
+func BenchmarkFig5a(b *testing.B) { benchFig5Panel(b, false) }
+func BenchmarkFig5b(b *testing.B) { benchFig5Panel(b, true) }
+
+func benchFig5Panel(b *testing.B, setSizes bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Fig5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx := 0
+		if setSizes {
+			idx = 1
+		}
+		if len(tables[idx].Rows) == 0 {
+			b.Fatal("empty panel")
+		}
+	}
+}
+
+// BenchmarkFig6a / Fig6b: adaptivity study (deadlocks+cycles, set sizes).
+func BenchmarkFig6a(b *testing.B) { benchExperiment(b, "fig6") }
+func BenchmarkFig6b(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7a / Fig7b: virtual channel study (1-4 VCs; cycle census).
+func BenchmarkFig7a(b *testing.B) { benchExperiment(b, "fig7") }
+func BenchmarkFig7b(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8a / Fig8b: buffer depth study (wormhole through VCT).
+func BenchmarkFig8a(b *testing.B) { benchExperiment(b, "fig8") }
+func BenchmarkFig8b(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkNodeDegree: Sec. 3.5 (2-D vs higher-degree torus).
+func BenchmarkNodeDegree(b *testing.B) { benchExperiment(b, "degree") }
+
+// BenchmarkTraffic: Sec. 3.6 (non-uniform traffic patterns).
+func BenchmarkTraffic(b *testing.B) { benchExperiment(b, "traffic") }
+
+// BenchmarkIrregular: the future-work irregular-network study (up*/down*
+// vs unrestricted minimal adaptive on random switch graphs).
+func BenchmarkIrregular(b *testing.B) { benchExperiment(b, "irregular") }
+
+// --- Single-run benchmarks at the paper's default scale ---------------------
+
+// BenchmarkSimCycle measures raw simulation speed: cycles/op on a saturated
+// 16-ary 2-cube with TFAR (the paper's default network), detector off.
+func BenchmarkSimCycle(b *testing.B) {
+	cfg := sim.Default()
+	cfg.Load = 1.0
+	cfg.DetectEvery = 1 << 30
+	cfg.WarmupCycles = 0
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ { // reach saturation occupancy
+		r.StepCycle()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.StepCycle()
+	}
+}
+
+// BenchmarkDetection measures one full true-deadlock-detection pass
+// (snapshot + CWG build + Tarjan + classification) on a saturated 16-ary
+// 2-cube.
+func BenchmarkDetection(b *testing.B) {
+	r := saturatedRunner(b, "tfar", 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Detector.DetectNow()
+	}
+}
+
+// BenchmarkDetectionWithCensus adds the Johnson cycle census to each pass.
+func BenchmarkDetectionWithCensus(b *testing.B) {
+	cfg := sim.Default()
+	cfg.Load = 1.0
+	cfg.WarmupCycles = 0
+	cfg.CycleCensus = true
+	cfg.MaxCycles = 100000
+	cfg.MaxWork = 2000000
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		r.StepCycle()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Detector.DetectNow()
+	}
+}
+
+func saturatedRunner(b *testing.B, alg string, vcs int) *sim.Runner {
+	b.Helper()
+	cfg := sim.Default()
+	cfg.Routing = alg
+	cfg.VCs = vcs
+	cfg.Load = 1.0
+	cfg.WarmupCycles = 0
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		r.StepCycle()
+	}
+	return r
+}
+
+// --- Ablations from DESIGN.md -----------------------------------------------
+
+// BenchmarkKnotTarjanVsReach quantifies design decision 1: knot detection by
+// Tarjan + condensation vs the naive per-vertex reachability definition, on
+// a CWG captured from a saturated network.
+func BenchmarkKnotTarjanVsReach(b *testing.B) {
+	g := saturatedCWG(b)
+	b.Run(fmt.Sprintf("tarjan/V=%d", g.NumVertices()), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.FindKnots()
+		}
+	})
+	b.Run(fmt.Sprintf("naive/V=%d", g.NumVertices()), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.NaiveKnots()
+		}
+	})
+}
+
+func saturatedCWG(b *testing.B) *cwg.Graph {
+	b.Helper()
+	r := saturatedRunner(b, "tfar", 1)
+	return cwg.Build(r.Detector.Snapshot())
+}
+
+// BenchmarkJohnsonCaps quantifies design decision 5: bounded cycle
+// enumeration cost at different caps on a dense blocked-network CWG.
+func BenchmarkJohnsonCaps(b *testing.B) {
+	g := saturatedCWG(b)
+	for _, maxCycles := range []int{100, 10000, 1000000} {
+		b.Run(fmt.Sprintf("maxCycles=%d", maxCycles), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.Analyze(cwg.Options{CountTotalCycles: true, MaxCycles: maxCycles, MaxWork: 1 << 22})
+			}
+		})
+	}
+}
+
+// BenchmarkCWGBuild measures snapshot-to-graph construction alone.
+func BenchmarkCWGBuild(b *testing.B) {
+	r := saturatedRunner(b, "tfar", 1)
+	snap := r.Detector.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := cwg.Build(snap)
+		if g.NumVertices() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkVCTvsWormhole quantifies design decision 4: virtual cut-through
+// as an emergent buffer-depth setting rather than a special-cased switch
+// mode (per-run cost of depth 2 vs depth 32).
+func BenchmarkVCTvsWormhole(b *testing.B) {
+	for _, depth := range []int{2, 32} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			cfg := sim.Quick()
+			cfg.Routing = "tfar"
+			cfg.BufferDepth = depth
+			cfg.Load = 1.0
+			cfg.WarmupCycles = 200
+			cfg.MeasureCycles = 1000
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouting measures candidate generation for each algorithm on the
+// topology class it is defined for.
+func BenchmarkRouting(b *testing.B) {
+	torus := topology.MustNew(16, 2, true)
+	mesh := topology.MustNewMesh(16, 2)
+	irr := topology.MustNewIrregular(256, 128, 1)
+	for _, name := range routing.Names() {
+		alg, err := routing.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var topo topology.Network = torus
+		switch name {
+		case "negative-first", "west-first":
+			topo = mesh
+		case "updown":
+			topo = irr
+		}
+		b.Run(name, func(b *testing.B) {
+			req := routing.Request{Topo: topo, Node: 0, Dst: 137, VCs: 4, CurDim: 0, PrevCh: topology.None}
+			var buf []routing.Candidate
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf = alg.Candidates(&req, buf[:0])
+			}
+			if len(buf) == 0 {
+				b.Fatal("no candidates")
+			}
+		})
+	}
+}
+
+// BenchmarkNetworkStepScaling measures per-cycle cost across network sizes.
+func BenchmarkNetworkStepScaling(b *testing.B) {
+	for _, k := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			topo := topology.MustNew(k, 2, true)
+			n, err := network.New(network.Params{
+				Topo: topo, VCs: 2, BufferDepth: 2, Routing: routing.TFAR{}, RecoveryDrainRate: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rng.New(1)
+			prob := 0.5 * topo.CapacityPerNode() / 32
+			inject := func() {
+				for s := 0; s < topo.Nodes(); s++ {
+					if r.Bernoulli(prob) {
+						d := r.Intn(topo.Nodes())
+						if d != s {
+							n.Inject(s, d, 32)
+						}
+					}
+				}
+			}
+			for i := 0; i < 500; i++ {
+				inject()
+				n.Step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inject()
+				n.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkRecoveryPolicies compares victim-selection policies end to end.
+func BenchmarkRecoveryPolicies(b *testing.B) {
+	for _, pol := range []string{"oldest", "most", "fewest", "random"} {
+		b.Run(pol, func(b *testing.B) {
+			cfg := sim.Quick()
+			cfg.Bidirectional = false
+			cfg.Routing = "dor"
+			cfg.Load = 1.0
+			cfg.VictimPolicy = pol
+			cfg.WarmupCycles = 200
+			cfg.MeasureCycles = 1000
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Deadlocks == 0 {
+					b.Fatal("no deadlocks to recover from")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLoadSweepParallel measures the sweep harness itself.
+func BenchmarkLoadSweepParallel(b *testing.B) {
+	cfg := core.QuickConfig()
+	cfg.K = 4
+	cfg.WarmupCycles = 100
+	cfg.MeasureCycles = 300
+	loads := core.Loads(0.2, 1.0, 0.2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts := core.LoadSweep(cfg, loads, 0)
+		if err := core.FirstError(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPaperScenarios measures analysis of the hand-built Figure 1-4
+// graphs (detection latency floor).
+func BenchmarkPaperScenarios(b *testing.B) {
+	scenarios := map[string][]cwg.Msg{
+		"fig1": cwg.PaperFig1(), "fig2": cwg.PaperFig2(),
+		"fig3": cwg.PaperFig3(), "fig4": cwg.PaperFig4(),
+	}
+	for name, msgs := range scenarios {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := cwg.Build(msgs)
+				g.Analyze(cwg.Options{CountKnotCycles: true, CountTotalCycles: true})
+			}
+		})
+	}
+}
+
+// BenchmarkDetectorTickOverhead measures the steady-state cost the paper's
+// 50-cycle detection period adds to simulation.
+func BenchmarkDetectorTickOverhead(b *testing.B) {
+	r := saturatedRunner(b, "dor", 1)
+	d := detect.New(r.Net, detect.Config{Every: 50, Recover: true, CountKnotCycles: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Net.Step()
+		d.Tick()
+	}
+}

@@ -1,0 +1,82 @@
+// Command charsweep regenerates the paper's evaluation figures as tables.
+//
+//	charsweep -experiment fig5            # full-fidelity Fig. 5 sweep
+//	charsweep -experiment all -quick      # everything, scaled down
+//	charsweep -experiment fig7 -csv       # CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"flexsim/internal/experiments"
+	"flexsim/internal/stats"
+)
+
+func main() {
+	exp := flag.String("experiment", "all",
+		"experiment id ("+strings.Join(experiments.Names(), "|")+"|all)")
+	quick := flag.Bool("quick", false, "scaled-down runs (8-ary 2-cube, short windows)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	plot := flag.Bool("plot", false, "render ASCII plots (first numeric column as x, log-y) after each table")
+	par := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	seed := flag.Uint64("seed", 0, "seed offset (0 = default)")
+	loads := flag.String("loads", "", "comma-separated load override, e.g. 0.2,0.6,1.0")
+	flag.Parse()
+
+	opts := experiments.Options{Quick: *quick, Parallelism: *par, Seed: *seed}
+	if *loads != "" {
+		for _, f := range strings.Split(*loads, ",") {
+			var l float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%g", &l); err != nil {
+				fmt.Fprintf(os.Stderr, "charsweep: bad load %q: %v\n", f, err)
+				os.Exit(1)
+			}
+			opts.Loads = append(opts.Loads, l)
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.Names()
+	}
+	for _, id := range ids {
+		f, err := experiments.ByName(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charsweep:", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		tables, err := f(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "charsweep: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if *csv {
+				if err := t.WriteCSV(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, "charsweep:", err)
+					os.Exit(1)
+				}
+				fmt.Println()
+				continue
+			}
+			if err := t.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "charsweep:", err)
+				os.Exit(1)
+			}
+			if *plot {
+				if cols := t.NumericColumns(); len(cols) >= 2 {
+					p, err := stats.PlotTable(t, cols[0], cols[1:], true)
+					if err == nil {
+						fmt.Println(p.Render())
+					}
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

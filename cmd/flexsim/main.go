@@ -1,0 +1,98 @@
+// Command flexsim runs one flit-level network simulation with true deadlock
+// detection and prints the measured characterization.
+//
+// Example (the paper's default configuration at 60% load with DOR):
+//
+//	flexsim -k 16 -n 2 -routing dor -vcs 1 -load 0.6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flexsim/internal/core"
+	"flexsim/internal/trace"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	flag.IntVar(&cfg.K, "k", cfg.K, "radix (nodes per dimension)")
+	flag.IntVar(&cfg.N, "n", cfg.N, "dimensions")
+	uni := flag.Bool("uni", false, "unidirectional channels (default bidirectional)")
+	flag.BoolVar(&cfg.Mesh, "mesh", false, "mesh (no wraparound links) instead of torus")
+	flag.IntVar(&cfg.IrregularNodes, "irregular", 0, "random irregular switch network with this many nodes (0 = torus/mesh)")
+	flag.IntVar(&cfg.IrregularLinks, "irregular-links", 0, "extra links beyond the irregular network's spanning tree")
+	flag.IntVar(&cfg.VCs, "vcs", cfg.VCs, "virtual channels per physical channel")
+	flag.IntVar(&cfg.BufferDepth, "buf", cfg.BufferDepth, "edge buffer depth in flits")
+	flag.IntVar(&cfg.MsgLen, "msglen", cfg.MsgLen, "message length in flits")
+	flag.StringVar(&cfg.Routing, "routing", cfg.Routing, "routing algorithm (dor|tfar|dateline-dor|duato-far|misroute-far)")
+	flag.StringVar(&cfg.Traffic, "traffic", cfg.Traffic, "traffic pattern (uniform|bitrev|transpose|shuffle|hotspot|tornado|neighbor)")
+	flag.Float64Var(&cfg.HotspotFrac, "hotfrac", cfg.HotspotFrac, "hot-spot traffic fraction")
+	flag.Float64Var(&cfg.Load, "load", cfg.Load, "normalized offered load (1.0 = capacity)")
+	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	flag.IntVar(&cfg.WarmupCycles, "warmup", cfg.WarmupCycles, "warmup cycles")
+	flag.IntVar(&cfg.MeasureCycles, "cycles", cfg.MeasureCycles, "measured cycles")
+	flag.IntVar(&cfg.DetectEvery, "detect-every", cfg.DetectEvery, "deadlock detector period in cycles")
+	flag.StringVar(&cfg.VictimPolicy, "victim", cfg.VictimPolicy, "recovery victim policy (oldest|most|fewest|random)")
+	census := flag.Bool("census", false, "count resource dependency cycles each detector invocation")
+	traceLast := flag.Int("trace-last", 0, "print the last N message lifecycle events after the run")
+	flag.StringVar(&cfg.Workload, "workload", "", "program-driven workload instead of open-loop traffic (stencil|allreduce)")
+	flag.IntVar(&cfg.WorkloadPhases, "phases", 0, "workload phases/rounds (default 10)")
+	flag.IntVar(&cfg.ComputeDelay, "compute", 0, "compute cycles between workload phases")
+	norecover := flag.Bool("no-recover", false, "detect but do not break deadlocks")
+	check := flag.Bool("check", false, "enable per-cycle invariant checking (slow)")
+	flag.Parse()
+
+	cfg.Bidirectional = !*uni
+	cfg.CycleCensus = *census
+	cfg.Recover = !*norecover
+	cfg.CheckInvariants = *check
+	var ring *trace.Ring
+	if *traceLast > 0 {
+		ring = &trace.Ring{Cap: *traceLast}
+		cfg.Tracer = ring
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("network:            %d-ary %d-cube, bidirectional=%v, %d VC(s), buffer=%d flits\n",
+		cfg.K, cfg.N, cfg.Bidirectional, cfg.VCs, cfg.BufferDepth)
+	fmt.Printf("routing/traffic:    %s / %s, %d-flit messages\n", cfg.Routing, cfg.Traffic, cfg.MsgLen)
+	fmt.Printf("offered load:       %.3f (%.4f flits/node/cycle offered, %.4f delivered)\n",
+		cfg.Load, res.OfferedRate(), res.Throughput())
+	fmt.Printf("saturated:          %v\n", res.Saturated)
+	fmt.Printf("delivered:          %d messages (%d via recovery), mean latency %.1f cycles\n",
+		res.Delivered, res.Recovered, res.MeanLatency())
+	fmt.Printf("latency tail:       p50 %d, p95 %d, p99 %d, max %d cycles\n",
+		res.Latency.Quantile(0.50), res.Latency.Quantile(0.95),
+		res.Latency.Quantile(0.99), res.Latency.Max())
+	fmt.Printf("congestion:         mean %.1f active, %.1f blocked (%.1f%%), %.1f queued at sources\n",
+		res.MeanActive, res.MeanBlocked, 100*res.BlockedFraction(), res.MeanQueued)
+	fmt.Printf("deadlocks:          %d (%d single-cycle, %d multi-cycle), normalized %.6f per message\n",
+		res.Deadlocks, res.SingleCycle, res.MultiCycle, res.NormalizedDeadlocks())
+	if res.Deadlocks > 0 {
+		fmt.Printf("deadlock sets:      mean %.2f msgs (max %d); resource sets mean %.2f VCs (max %d)\n",
+			res.MeanDeadlockSet(), res.MaxDeadlockSet, res.MeanResourceSet(), res.MaxResourceSet)
+		fmt.Printf("knot cycle density: mean %.2f (max %d); dependent msgs mean %.2f per deadlock\n",
+			res.MeanKnotCycles(), res.MaxKnotCycles, res.MeanDependent())
+	}
+	if res.CensusSamples > 0 {
+		capped := ""
+		if res.CensusCapped {
+			capped = " (capped)"
+		}
+		fmt.Printf("cycle census:       mean %.1f cycles per check, max %d%s\n",
+			res.MeanCensusCycles(), res.MaxCycles, capped)
+	}
+	if ring != nil {
+		fmt.Printf("last %d of %d lifecycle events:\n", len(ring.Events()), ring.Total())
+		for _, ev := range ring.Events() {
+			fmt.Println(" ", ev)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Package flexsim is a flit-level interconnection-network simulator with
+// true deadlock detection, reproducing "Characterization of Deadlocks in
+// Interconnection Networks" (Warnakulasuriya & Pinkston, IPPS 1997).
+//
+// The library lives under internal/; entry points:
+//
+//   - internal/core: public facade (Config, Run, LoadSweep)
+//   - internal/cwg: channel wait-for graphs and knot-based deadlock theory
+//   - internal/experiments: regenerates every figure of the paper
+//   - cmd/flexsim, cmd/charsweep, cmd/cwgviz: command-line tools
+//   - examples/: runnable demonstrations
+//
+// See README.md for a guided tour and DESIGN.md for the system inventory.
+package flexsim

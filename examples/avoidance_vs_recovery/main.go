@@ -1,0 +1,70 @@
+// Avoidance vs recovery: the paper's motivating question. Compares, at the
+// same offered load on the same torus:
+//
+//   - unrestricted routing with deadlock *recovery* (DOR/TFAR with free VC
+//     use, true deadlock detection, Disha-style absorption), versus
+//   - deadlock *avoidance* baselines (dateline DOR, Duato-protocol adaptive
+//     routing) that restrict VC use so that no knot can ever form.
+//
+// The paper's conclusion — recovery is viable because a few unrestricted
+// VCs already make deadlock highly improbable — shows up directly in the
+// table: TFAR with 2 unrestricted VCs delivers avoidance-level throughput
+// with zero observed deadlocks.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"flexsim/internal/core"
+)
+
+func main() {
+	type variant struct {
+		label   string
+		routing string
+		vcs     int
+	}
+	variants := []variant{
+		{"recovery: DOR, 1 VC (unrestricted)", "dor", 1},
+		{"recovery: DOR, 2 VCs (unrestricted)", "dor", 2},
+		{"recovery: DOR, 3 VCs (unrestricted)", "dor", 3},
+		{"recovery: TFAR, 1 VC (unrestricted)", "tfar", 1},
+		{"recovery: TFAR, 2 VCs (unrestricted)", "tfar", 2},
+		{"avoidance: dateline DOR, 2 VCs", "dateline-dor", 2},
+		{"avoidance: Duato FAR, 3 VCs", "duato-far", 3},
+	}
+
+	for _, load := range []float64{0.5, 0.9} {
+		table := core.Table{
+			Title: fmt.Sprintf("avoidance vs recovery at load %.1f (8-ary 2-cube, 32-flit messages)", load),
+			Headers: []string{"variant", "deadlocks", "ndl", "throughput",
+				"latency", "pct_blocked"},
+		}
+		var cfgs []core.Config
+		for _, v := range variants {
+			cfg := core.QuickConfig()
+			cfg.Routing = v.routing
+			cfg.VCs = v.vcs
+			cfg.Load = load
+			cfg.Label = v.label
+			cfgs = append(cfgs, cfg)
+		}
+		points := core.RunAll(cfgs, 0)
+		if err := core.FirstError(points); err != nil {
+			fmt.Fprintln(os.Stderr, "avoidance_vs_recovery:", err)
+			os.Exit(1)
+		}
+		for i, p := range points {
+			r := p.Result
+			table.AddRow(variants[i].label, r.Deadlocks, r.NormalizedDeadlocks(),
+				r.Throughput(), r.MeanLatency(), 100*r.BlockedFraction())
+		}
+		table.AddNote("avoidance rows must show exactly 0 deadlocks by construction;")
+		table.AddNote("recovery rows with >=3 VCs (DOR) / >=2 VCs (TFAR) show 0 empirically - the paper's key finding")
+		if err := table.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "avoidance_vs_recovery:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module flexsim
+
+go 1.22

@@ -1,0 +1,149 @@
+// Package core is the library's public face: it re-exports the simulation
+// configuration and result types and provides the sweep machinery — running
+// many independent, deterministic simulations in parallel across goroutines
+// — that the paper's experiments, the CLI tools and the examples are built
+// on.
+//
+// Quickstart:
+//
+//	cfg := core.DefaultConfig()
+//	cfg.Routing = "dor"
+//	cfg.Load = 0.6
+//	res, err := core.Run(cfg)
+//	fmt.Println(res.NormalizedDeadlocks())
+//
+// For a load sweep (one run per offered load, in parallel):
+//
+//	points := core.LoadSweep(cfg, core.Loads(0.1, 1.2, 0.1), 0)
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"flexsim/internal/sim"
+	"flexsim/internal/stats"
+)
+
+// Config is the simulation configuration (see sim.Config for field docs).
+type Config = sim.Config
+
+// Result is the per-run measurement record.
+type Result = stats.Result
+
+// Table renders experiment output.
+type Table = stats.Table
+
+// DefaultConfig returns the paper's default configuration (16-ary 2-cube,
+// bidirectional, 32-flit messages, 2-flit buffers, detector every 50
+// cycles).
+func DefaultConfig() Config { return sim.Default() }
+
+// QuickConfig returns a scaled-down configuration for fast runs.
+func QuickConfig() Config { return sim.Quick() }
+
+// Run executes one simulation.
+func Run(c Config) (*Result, error) { return sim.Run(c) }
+
+// MustRun executes one simulation and panics on configuration error
+// (examples and benchmarks with constant configs).
+func MustRun(c Config) *Result {
+	r, err := sim.Run(c)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Loads returns {from, from+step, ...} up to and including to (within half a
+// step of floating error).
+func Loads(from, to, step float64) []float64 {
+	var out []float64
+	for l := from; l <= to+step/2; l += step {
+		out = append(out, math.Round(l*1e9)/1e9)
+	}
+	return out
+}
+
+// Point is one sweep result.
+type Point struct {
+	Load   float64
+	Result *Result
+	Err    error
+}
+
+// LoadSweep runs base at each offered load, in parallel across up to
+// parallelism goroutines (0 means GOMAXPROCS). Each point derives a
+// deterministic seed from the base seed and its load so results are
+// reproducible regardless of scheduling.
+func LoadSweep(base Config, loads []float64, parallelism int) []Point {
+	configs := make([]Config, len(loads))
+	for i, l := range loads {
+		c := base
+		c.Load = l
+		c.Seed = pointSeed(base.Seed, i)
+		configs[i] = c
+	}
+	return RunAll(configs, parallelism)
+}
+
+// RunAll executes every configuration, in parallel across up to parallelism
+// goroutines (0 means GOMAXPROCS), preserving order.
+func RunAll(configs []Config, parallelism int) []Point {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(configs) {
+		parallelism = len(configs)
+	}
+	points := make([]Point, len(configs))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				res, err := sim.Run(configs[i])
+				points[i] = Point{Load: configs[i].Load, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range configs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return points
+}
+
+// pointSeed decorrelates per-point seeds (SplitMix64 step).
+func pointSeed(base uint64, i int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// FirstError returns the first error among points, annotated with its load.
+func FirstError(points []Point) error {
+	for _, p := range points {
+		if p.Err != nil {
+			return fmt.Errorf("load %.3f: %w", p.Load, p.Err)
+		}
+	}
+	return nil
+}
+
+// SaturationLoad returns the lowest load whose run saturated, or +Inf if
+// none did (the paper marks it as a vertical dashed line).
+func SaturationLoad(points []Point) float64 {
+	for _, p := range points {
+		if p.Err == nil && p.Result.Saturated {
+			return p.Load
+		}
+	}
+	return math.Inf(1)
+}

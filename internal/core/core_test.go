@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func tiny() Config {
+	c := QuickConfig()
+	c.K = 4
+	c.WarmupCycles = 100
+	c.MeasureCycles = 400
+	return c
+}
+
+func TestLoads(t *testing.T) {
+	got := Loads(0.1, 0.5, 0.1)
+	want := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	if len(got) != len(want) {
+		t.Fatalf("Loads = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("Loads[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := Loads(0.5, 0.5, 0.1); len(got) != 1 {
+		t.Errorf("degenerate Loads = %v", got)
+	}
+}
+
+func TestRunAndMustRun(t *testing.T) {
+	res, err := Run(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if MustRun(tiny()).Delivered == 0 {
+		t.Fatal("MustRun delivered nothing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRun on invalid config did not panic")
+		}
+	}()
+	bad := tiny()
+	bad.Routing = "nope"
+	MustRun(bad)
+}
+
+func TestLoadSweepOrderAndDeterminism(t *testing.T) {
+	loads := []float64{0.2, 0.6, 1.0}
+	a := LoadSweep(tiny(), loads, 2)
+	b := LoadSweep(tiny(), loads, 3) // different parallelism, same results
+	if err := FirstError(a); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 {
+		t.Fatalf("%d points", len(a))
+	}
+	for i := range a {
+		if a[i].Load != loads[i] {
+			t.Errorf("point %d load = %v, want %v (order must be preserved)", i, a[i].Load, loads[i])
+		}
+		if a[i].Result.Delivered != b[i].Result.Delivered ||
+			a[i].Result.Deadlocks != b[i].Result.Deadlocks {
+			t.Errorf("point %d differs across parallelism: %+v vs %+v", i, a[i].Result, b[i].Result)
+		}
+	}
+}
+
+func TestLoadSweepSeedsDecorrelated(t *testing.T) {
+	pts := LoadSweep(tiny(), []float64{0.5, 0.5}, 1)
+	if pts[0].Result.Seed == pts[1].Result.Seed {
+		t.Error("sweep points share a seed")
+	}
+}
+
+func TestRunAllPropagatesErrors(t *testing.T) {
+	good := tiny()
+	bad := tiny()
+	bad.Routing = "nope"
+	pts := RunAll([]Config{good, bad}, 0)
+	if pts[0].Err != nil {
+		t.Errorf("good config errored: %v", pts[0].Err)
+	}
+	if pts[1].Err == nil {
+		t.Error("bad config produced no error")
+	}
+	if FirstError(pts) == nil {
+		t.Error("FirstError missed the failure")
+	}
+}
+
+func TestSaturationLoad(t *testing.T) {
+	cfg := tiny()
+	cfg.Routing = "dor"
+	pts := LoadSweep(cfg, []float64{0.1, 1.5}, 0)
+	if err := FirstError(pts); err != nil {
+		t.Fatal(err)
+	}
+	sat := SaturationLoad(pts)
+	if sat != 1.5 {
+		t.Errorf("SaturationLoad = %v, want 1.5 (0.1 unsaturated)", sat)
+	}
+	if s := SaturationLoad(pts[:1]); !math.IsInf(s, 1) {
+		t.Errorf("all-unsaturated SaturationLoad = %v, want +Inf", s)
+	}
+}
+
+func TestPointSeedDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := pointSeed(1, i)
+		if seen[s] {
+			t.Fatalf("pointSeed collision at %d", i)
+		}
+		seen[s] = true
+	}
+}

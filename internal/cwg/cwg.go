@@ -1,0 +1,459 @@
+// Package cwg implements the paper's theoretical core: channel wait-for
+// graphs (CWGs) and true deadlock detection as knot identification.
+//
+// A CWG models the network's resource state at an instant. Vertices are
+// virtual channels (VCs). For each message, a chain of "solid" arcs joins
+// the VCs it owns in acquisition order; if the message is blocked, "dashed"
+// arcs run from its most recently acquired VC to every VC its routing
+// relation currently supplies. A free VC supplied as a candidate appears as
+// a sink vertex.
+//
+// A deadlock exists iff the CWG contains a knot: a set of vertices R such
+// that the set of vertices reachable from each and every member of R is R
+// itself. Cycles are necessary but not sufficient (Duato); a knot is
+// necessary and sufficient for deadlock given a connected routing function.
+// A knot is exactly a terminal strongly connected component that contains at
+// least one edge, so detection runs in O(V+E) via Tarjan's SCC algorithm
+// plus a condensation scan — this package also ships the naive
+// per-vertex-reachability definition for cross-validation.
+//
+// Each detected deadlock is characterized as in the paper:
+//
+//   - deadlock set: the messages owning the knot's VCs;
+//   - resource set: every VC owned by a deadlock-set message;
+//   - knot cycle density: the number of unique elementary cycles inside the
+//     knot (single-cycle vs multi-cycle deadlocks);
+//   - dependent messages: blocked messages outside the deadlock set that
+//     wait on a VC owned by a deadlock-set message — they cannot proceed
+//     until recovery, but removing them would not resolve the deadlock.
+//
+// The package is pure graph theory: it depends only on the message package
+// for VC/ID types and can be exercised with hand-built scenarios (the
+// paper's Figures 1-4 are reconstructed in the tests and in
+// examples/anatomy).
+package cwg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flexsim/internal/message"
+)
+
+// Msg is one message's contribution to a CWG snapshot.
+type Msg struct {
+	ID message.ID
+	// Owned lists the VCs the message owns, in acquisition order.
+	Owned []message.VC
+	// Blocked reports whether the message's header is blocked; Wants then
+	// lists the candidate VCs the routing relation supplies.
+	Blocked bool
+	Wants   []message.VC
+}
+
+// Graph is a built channel wait-for graph. Construct with Build.
+type Graph struct {
+	msgs []Msg
+
+	verts []message.VC         // dense index -> VC id
+	index map[message.VC]int32 // VC id -> dense index
+	adj   [][]int32            // out-edges
+	owner []int32              // dense vertex -> index into msgs, -1 if free
+}
+
+// Build constructs the CWG for a snapshot of messages. Messages with no
+// owned VCs are ignored (they hold no resources and cannot participate).
+func Build(msgs []Msg) *Graph {
+	g := &Graph{
+		msgs:  msgs,
+		index: make(map[message.VC]int32),
+	}
+	vertex := func(vc message.VC) int32 {
+		if i, ok := g.index[vc]; ok {
+			return i
+		}
+		i := int32(len(g.verts))
+		g.index[vc] = i
+		g.verts = append(g.verts, vc)
+		g.adj = append(g.adj, nil)
+		g.owner = append(g.owner, -1)
+		return i
+	}
+	for mi := range msgs {
+		m := &msgs[mi]
+		if len(m.Owned) == 0 {
+			continue
+		}
+		prev := vertex(m.Owned[0])
+		g.owner[prev] = int32(mi)
+		for _, vc := range m.Owned[1:] {
+			v := vertex(vc)
+			g.owner[v] = int32(mi)
+			g.adj[prev] = append(g.adj[prev], v)
+			prev = v
+		}
+		if m.Blocked {
+			for _, vc := range m.Wants {
+				g.adj[prev] = append(g.adj[prev], vertex(vc))
+			}
+		}
+	}
+	return g
+}
+
+// NumVertices returns the number of VCs appearing in the graph.
+func (g *Graph) NumVertices() int { return len(g.verts) }
+
+// NumEdges returns the number of arcs (solid + dashed).
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, a := range g.adj {
+		n += len(a)
+	}
+	return n
+}
+
+// VCs returns the VC ids of the graph's vertices (dense order).
+func (g *Graph) VCs() []message.VC { return g.verts }
+
+// OwnerOf returns the id of the message owning vc and true, or false if vc
+// is free or absent from the graph.
+func (g *Graph) OwnerOf(vc message.VC) (message.ID, bool) {
+	i, ok := g.index[vc]
+	if !ok || g.owner[i] < 0 {
+		return 0, false
+	}
+	return g.msgs[g.owner[i]].ID, true
+}
+
+// Kind classifies a deadlock by its knot cycle density, following the
+// paper's taxonomy.
+type Kind int8
+
+const (
+	// SingleCycle deadlocks have a knot consisting of exactly one
+	// elementary cycle — typical of networks with a single channel option
+	// (static routing, or adaptivity exhausted).
+	SingleCycle Kind = iota
+	// MultiCycle deadlocks have knots woven from several overlapping
+	// cycles — typical of adaptive routing with multiple VCs, requiring a
+	// much higher degree of correlated resource dependency.
+	MultiCycle
+)
+
+// String returns "single-cycle" or "multi-cycle".
+func (k Kind) String() string {
+	if k == SingleCycle {
+		return "single-cycle"
+	}
+	return "multi-cycle"
+}
+
+// Deadlock describes one detected knot.
+type Deadlock struct {
+	// KnotVCs is the knot: the terminal strongly connected set of VCs.
+	KnotVCs []message.VC
+	// DeadlockSet is the set of messages owning the knot's VCs. Removing
+	// one of these (and only these) can resolve the deadlock.
+	DeadlockSet []message.ID
+	// ResourceSet is every VC owned by a deadlock-set message (the
+	// paper's resource set; a superset of KnotVCs).
+	ResourceSet []message.VC
+	// KnotCycles is the knot cycle density: the number of unique
+	// elementary cycles within the knot. CyclesCapped reports that
+	// enumeration stopped at the configured cap.
+	KnotCycles   int
+	CyclesCapped bool
+	// Kind is SingleCycle iff KnotCycles == 1.
+	Kind Kind
+	// Dependent lists blocked messages outside the deadlock set that wait
+	// on a VC owned by a deadlock-set message. A detection mechanism must
+	// not choose these as recovery victims.
+	Dependent []message.ID
+}
+
+// Options tunes Analyze.
+type Options struct {
+	// CountKnotCycles enables per-knot elementary cycle enumeration
+	// (knot cycle density).
+	CountKnotCycles bool
+	// CountTotalCycles enables whole-graph elementary cycle enumeration
+	// (the paper's resource-dependency-cycle census, used when no
+	// deadlock exists).
+	CountTotalCycles bool
+	// MaxCycles caps each enumeration (0 means DefaultMaxCycles). The
+	// paper observes hundreds of thousands of cycles at saturation;
+	// enumeration beyond the cap reports Capped instead of spinning.
+	MaxCycles int
+	// MaxWork caps the number of edge traversals per enumeration
+	// (0 means DefaultMaxWork).
+	MaxWork int
+}
+
+// Default enumeration caps.
+const (
+	DefaultMaxCycles = 1 << 20
+	DefaultMaxWork   = 1 << 24
+)
+
+// Analysis is the result of analyzing a CWG snapshot.
+type Analysis struct {
+	// Deadlocks lists the detected knots (empty means no deadlock).
+	Deadlocks []Deadlock
+	// TotalCycles is the number of elementary cycles in the whole graph
+	// (only populated with Options.CountTotalCycles).
+	TotalCycles       int
+	TotalCyclesCapped bool
+	// BlockedMessages is the number of blocked messages in the snapshot.
+	BlockedMessages int
+}
+
+// FindKnots returns the knots of the graph as vertex-index sets, using
+// Tarjan SCC + condensation: a knot is an SCC with no edges leaving it that
+// contains at least one edge (size > 1, or a self-loop).
+func (g *Graph) FindKnots() [][]int32 {
+	comp, ncomp := g.tarjan()
+	terminal := make([]bool, ncomp)
+	hasEdge := make([]bool, ncomp)
+	for i := range terminal {
+		terminal[i] = true
+	}
+	for u := range g.adj {
+		cu := comp[u]
+		for _, v := range g.adj[u] {
+			cv := comp[v]
+			if cu != cv {
+				terminal[cu] = false
+			} else {
+				hasEdge[cu] = true
+			}
+		}
+	}
+	var members [][]int32
+	compSlot := make([]int32, ncomp)
+	for i := range compSlot {
+		compSlot[i] = -1
+	}
+	for u := range comp {
+		c := comp[u]
+		if !terminal[c] || !hasEdge[c] {
+			continue
+		}
+		if compSlot[c] < 0 {
+			compSlot[c] = int32(len(members))
+			members = append(members, nil)
+		}
+		members[compSlot[c]] = append(members[compSlot[c]], int32(u))
+	}
+	return members
+}
+
+// tarjan computes strongly connected components iteratively and returns the
+// component id per vertex and the number of components.
+func (g *Graph) tarjan() (comp []int32, ncomp int) {
+	n := len(g.verts)
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	low := make([]int32, n)
+	disc := make([]int32, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	onStack := make([]bool, n)
+	var stack []int32
+	type frame struct {
+		v  int32
+		ei int
+	}
+	var frames []frame
+	var timer int32
+	for s := 0; s < n; s++ {
+		if disc[s] != -1 {
+			continue
+		}
+		frames = append(frames[:0], frame{v: int32(s)})
+		disc[s] = timer
+		low[s] = timer
+		timer++
+		stack = append(stack, int32(s))
+		onStack[s] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ei < len(g.adj[v]) {
+				w := g.adj[v][f.ei]
+				f.ei++
+				if disc[w] == -1 {
+					disc[w] = timer
+					low[w] = timer
+					timer++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && low[v] > disc[w] {
+					low[v] = disc[w]
+				}
+				continue
+			}
+			// Post-order: pop frame, close component if root.
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[p] > low[v] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == disc[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = int32(ncomp)
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp, ncomp
+}
+
+// Analyze finds all knots, classifies each deadlock and optionally counts
+// resource dependency cycles.
+func (g *Graph) Analyze(opts Options) Analysis {
+	var an Analysis
+	for i := range g.msgs {
+		if g.msgs[i].Blocked {
+			an.BlockedMessages++
+		}
+	}
+	knots := g.FindKnots()
+	for _, knot := range knots {
+		an.Deadlocks = append(an.Deadlocks, g.classify(knot, opts))
+	}
+	if opts.CountTotalCycles {
+		c := newCounter(opts)
+		an.TotalCycles, an.TotalCyclesCapped = c.countAll(g)
+	}
+	return an
+}
+
+// classify builds the paper's characterization of one knot.
+func (g *Graph) classify(knot []int32, opts Options) Deadlock {
+	var d Deadlock
+	inKnot := make(map[int32]bool, len(knot))
+	for _, v := range knot {
+		inKnot[v] = true
+		d.KnotVCs = append(d.KnotVCs, g.verts[v])
+	}
+	sortVCs(d.KnotVCs)
+
+	// Deadlock set: owners of the knot's VCs.
+	setIdx := make(map[int32]bool)
+	for _, v := range knot {
+		if o := g.owner[v]; o >= 0 {
+			setIdx[o] = true
+		}
+	}
+	for mi := range setIdx {
+		d.DeadlockSet = append(d.DeadlockSet, g.msgs[mi].ID)
+	}
+	sortIDs(d.DeadlockSet)
+
+	// Resource set: every VC owned by a deadlock-set message.
+	for mi := range setIdx {
+		d.ResourceSet = append(d.ResourceSet, g.msgs[mi].Owned...)
+	}
+	sortVCs(d.ResourceSet)
+
+	// Dependent messages: blocked, outside the set, waiting on a VC owned
+	// by a set member.
+	ownedBySet := make(map[message.VC]bool, len(d.ResourceSet))
+	for _, vc := range d.ResourceSet {
+		ownedBySet[vc] = true
+	}
+	for mi := range g.msgs {
+		m := &g.msgs[mi]
+		if !m.Blocked || setIdx[int32(mi)] {
+			continue
+		}
+		for _, w := range m.Wants {
+			if ownedBySet[w] {
+				d.Dependent = append(d.Dependent, m.ID)
+				break
+			}
+		}
+	}
+	sortIDs(d.Dependent)
+
+	if opts.CountKnotCycles {
+		c := newCounter(opts)
+		d.KnotCycles, d.CyclesCapped = c.countInduced(g, inKnot)
+	} else {
+		// Cheap lower bound: a knot always contains at least one cycle.
+		d.KnotCycles = 1
+	}
+	if d.KnotCycles <= 1 && !d.CyclesCapped {
+		d.Kind = SingleCycle
+	} else {
+		d.Kind = MultiCycle
+	}
+	return d
+}
+
+func sortVCs(s []message.VC) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func sortIDs(s []message.ID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// DOT renders the graph in Graphviz format. label renders a VC id (pass nil
+// for numeric ids). Solid arcs are ownership chains; dashed arcs are waits.
+// Knot vertices are shaded.
+func (g *Graph) DOT(label func(message.VC) string) string {
+	if label == nil {
+		label = func(vc message.VC) string { return fmt.Sprintf("c%d", vc) }
+	}
+	inKnot := make(map[int32]bool)
+	for _, knot := range g.FindKnots() {
+		for _, v := range knot {
+			inKnot[v] = true
+		}
+	}
+	var b strings.Builder
+	b.WriteString("digraph cwg {\n  rankdir=LR;\n  node [shape=circle, fontsize=10];\n")
+	for i, vc := range g.verts {
+		attr := ""
+		if inKnot[int32(i)] {
+			attr = ", style=filled, fillcolor=lightcoral"
+		}
+		ownerLbl := "free"
+		if o := g.owner[i]; o >= 0 {
+			ownerLbl = fmt.Sprintf("m%d", g.msgs[o].ID)
+		}
+		fmt.Fprintf(&b, "  v%d [label=\"%s\\n%s\"%s];\n", i, label(vc), ownerLbl, attr)
+	}
+	for mi := range g.msgs {
+		m := &g.msgs[mi]
+		for j := 0; j+1 < len(m.Owned); j++ {
+			fmt.Fprintf(&b, "  v%d -> v%d [label=\"m%d\"];\n",
+				g.index[m.Owned[j]], g.index[m.Owned[j+1]], m.ID)
+		}
+		if m.Blocked && len(m.Owned) > 0 {
+			head := g.index[m.Owned[len(m.Owned)-1]]
+			for _, w := range m.Wants {
+				fmt.Fprintf(&b, "  v%d -> v%d [style=dashed, label=\"m%d\"];\n",
+					head, g.index[w], m.ID)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

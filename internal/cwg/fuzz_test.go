@@ -1,0 +1,54 @@
+package cwg
+
+import (
+	"testing"
+)
+
+// FuzzKnotsAndCycles interprets fuzz input as a digraph edge list over up to
+// 12 vertices and cross-validates the production knot finder (Tarjan +
+// condensation) and cycle counter (Johnson) against the literal reference
+// implementations. Run with `go test -fuzz FuzzKnotsAndCycles` for
+// continuous fuzzing; the seed corpus runs in normal test mode.
+func FuzzKnotsAndCycles(f *testing.F) {
+	f.Add([]byte{0x01, 0x12, 0x20})             // 3-cycle
+	f.Add([]byte{0x01, 0x10})                   // 2-cycle knot
+	f.Add([]byte{0x01, 0x10, 0x12})             // cycle with escape
+	f.Add([]byte{0x00})                         // self-loop
+	f.Add([]byte{0x01, 0x12, 0x23, 0x34, 0x40}) // 5-ring
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 24 {
+			data = data[:24] // bound naive enumeration cost
+		}
+		const n = 12
+		edges := make([][2]int32, 0, len(data))
+		for _, b := range data {
+			edges = append(edges, [2]int32{int32(b>>4) % n, int32(b&0xf) % n})
+		}
+		g := digraph(n, edges)
+		fast := g.FindKnots()
+		slow := g.NaiveKnots()
+		if !sameKnotSets(fast, slow) {
+			t.Fatalf("knots disagree on %v: fast=%v naive=%v", edges, fast, slow)
+		}
+		c := newCounter(Options{})
+		got, capped := c.countAll(g)
+		if capped {
+			t.Fatalf("capped on a %d-edge graph", len(edges))
+		}
+		if want := g.NaiveCycleCount(); got != want {
+			t.Fatalf("cycle counts disagree on %v: johnson=%d naive=%d", edges, got, want)
+		}
+		// Every knot found must be nonempty and contain only graph
+		// vertices.
+		for _, knot := range fast {
+			if len(knot) == 0 {
+				t.Fatal("empty knot")
+			}
+			for _, v := range knot {
+				if v < 0 || int(v) >= g.NumVertices() {
+					t.Fatalf("knot vertex %d out of range", v)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package cwg
+
+// Elementary-cycle enumeration (Johnson's algorithm, SIAM J. Comput. 1975)
+// with work and count caps.
+//
+// The paper's cycle census ("number of resource dependency cycles") and the
+// knot cycle density both require counting unique elementary cycles. The
+// count grows combinatorially near saturation (the paper observes "hundreds
+// of thousands" of cycles), so enumeration is bounded: MaxCycles caps the
+// count, MaxWork caps edge traversals, and results report whether a cap was
+// hit. Cycles only exist inside strongly connected components, so the
+// enumerator first condenses the graph and then runs Johnson per nontrivial
+// SCC, which keeps the common no-deadlock case at O(V+E).
+
+// counter carries the enumeration state and caps.
+type counter struct {
+	maxCycles int
+	maxWork   int
+	cycles    int
+	work      int
+	capped    bool
+}
+
+func newCounter(opts Options) *counter {
+	c := &counter{maxCycles: opts.MaxCycles, maxWork: opts.MaxWork}
+	if c.maxCycles <= 0 {
+		c.maxCycles = DefaultMaxCycles
+	}
+	if c.maxWork <= 0 {
+		c.maxWork = DefaultMaxWork
+	}
+	return c
+}
+
+// countAll counts elementary cycles in the whole graph.
+func (c *counter) countAll(g *Graph) (int, bool) {
+	comp, ncomp := g.tarjan()
+	// Gather vertices per component; only components with an internal
+	// edge can contain cycles.
+	size := make([]int32, ncomp)
+	hasEdge := make([]bool, ncomp)
+	for u := range g.adj {
+		size[comp[u]]++
+		for _, v := range g.adj[u] {
+			if comp[v] == comp[u] {
+				hasEdge[comp[u]] = true
+			}
+		}
+	}
+	members := make([][]int32, ncomp)
+	for u := range comp {
+		cu := comp[u]
+		if hasEdge[cu] {
+			members[cu] = append(members[cu], int32(u))
+		}
+	}
+	for _, mem := range members {
+		if len(mem) == 0 {
+			continue
+		}
+		c.countSCC(g, mem)
+		if c.capped {
+			break
+		}
+	}
+	return c.cycles, c.capped
+}
+
+// countInduced counts elementary cycles in the subgraph induced by the given
+// vertex set (used for knot cycle density; a knot is a single SCC).
+func (c *counter) countInduced(g *Graph, in map[int32]bool) (int, bool) {
+	mem := make([]int32, 0, len(in))
+	for v := range in {
+		mem = append(mem, v)
+	}
+	// Deterministic order for reproducible capped counts.
+	for i := 1; i < len(mem); i++ {
+		for j := i; j > 0 && mem[j] < mem[j-1]; j-- {
+			mem[j], mem[j-1] = mem[j-1], mem[j]
+		}
+	}
+	c.countSCC(g, mem)
+	return c.cycles, c.capped
+}
+
+// countSCC runs Johnson's circuit enumeration on the subgraph induced by
+// mem (which must all belong to one graph; cycles leaving mem are ignored).
+func (c *counter) countSCC(g *Graph, mem []int32) {
+	n := len(mem)
+	local := make(map[int32]int32, n)
+	for i, v := range mem {
+		local[v] = int32(i)
+	}
+	adj := make([][]int32, n)
+	for i, v := range mem {
+		for _, w := range g.adj[v] {
+			if lw, ok := local[w]; ok {
+				adj[i] = append(adj[i], lw)
+			}
+		}
+	}
+	j := &johnson{adj: adj, c: c,
+		blocked:  make([]bool, n),
+		blockMap: make([][]int32, n),
+	}
+	for s := 0; s < n && !c.capped; s++ {
+		j.s = int32(s)
+		for i := s; i < n; i++ {
+			j.blocked[i] = false
+			j.blockMap[i] = j.blockMap[i][:0]
+		}
+		j.circuit(int32(s))
+	}
+}
+
+type johnson struct {
+	adj      [][]int32
+	c        *counter
+	s        int32
+	blocked  []bool
+	blockMap [][]int32
+}
+
+// circuit explores elementary paths from v back to j.s using only vertices
+// with local index >= j.s, counting each closed circuit once.
+func (j *johnson) circuit(v int32) bool {
+	found := false
+	j.blocked[v] = true
+	for _, w := range j.adj[v] {
+		if w < j.s {
+			continue
+		}
+		j.c.work++
+		if j.c.work > j.c.maxWork {
+			j.c.capped = true
+			return found
+		}
+		if w == j.s {
+			j.c.cycles++
+			if j.c.cycles >= j.c.maxCycles {
+				j.c.capped = true
+				return found
+			}
+			found = true
+		} else if !j.blocked[w] {
+			if j.circuit(w) {
+				found = true
+			}
+			if j.c.capped {
+				return found
+			}
+		}
+	}
+	if found {
+		j.unblock(v)
+	} else {
+		for _, w := range j.adj[v] {
+			if w < j.s {
+				continue
+			}
+			j.blockMap[w] = appendUnique(j.blockMap[w], v)
+		}
+	}
+	return found
+}
+
+func (j *johnson) unblock(v int32) {
+	j.blocked[v] = false
+	for _, w := range j.blockMap[v] {
+		if j.blocked[w] {
+			j.unblock(w)
+		}
+	}
+	j.blockMap[v] = j.blockMap[v][:0]
+}
+
+func appendUnique(s []int32, v int32) []int32 {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}

@@ -1,0 +1,90 @@
+package cwg
+
+import "flexsim/internal/message"
+
+// Reconstructions of the paper's illustrative Figures 1-4 as CWG snapshots.
+// They are used by the tests, the anatomy example and the documentation to
+// exercise knot detection and deadlock classification against scenarios
+// with known ground truth.
+
+// PaperFig1 reconstructs Figure 1: a single-cycle deadlock under
+// dimension-order routing with one VC. Messages 1-3 hold chains of channels
+// around a ring and each waits for a channel owned by the next; messages 4
+// and 5 have acquired everything they need and are draining (their chains
+// hang off the knot as escapes for nobody). The knot is channels 0-7 with
+// knot cycle density 1; the deadlock set is {1,2,3}.
+func PaperFig1() []Msg {
+	return []Msg{
+		{ID: 1, Owned: vcs(1, 2), Blocked: true, Wants: vcs(3)},
+		{ID: 2, Owned: vcs(3, 4, 5), Blocked: true, Wants: vcs(6)},
+		{ID: 3, Owned: vcs(6, 7, 0), Blocked: true, Wants: vcs(1)},
+		{ID: 4, Owned: vcs(8, 9)},   // acquired all channels needed; draining
+		{ID: 5, Owned: vcs(10, 11)}, // acquired all channels needed; draining
+	}
+}
+
+// PaperFig2 reconstructs Figure 2: a single-cycle deadlock under minimal
+// adaptive routing with one VC, where every deadlocked message has
+// exhausted its adaptivity (one candidate each). Message 5 is a *dependent*
+// message: blocked on a knot-owned channel, but its own resources are not
+// in the knot — removing it would not resolve the deadlock. The knot is
+// {1,3,5,7}; the deadlock set is {1,2,3,4}; the resource set has 8 VCs.
+func PaperFig2() []Msg {
+	return []Msg{
+		{ID: 1, Owned: vcs(0, 1), Blocked: true, Wants: vcs(3)},
+		{ID: 2, Owned: vcs(2, 3), Blocked: true, Wants: vcs(5)},
+		{ID: 3, Owned: vcs(4, 5), Blocked: true, Wants: vcs(7)},
+		{ID: 4, Owned: vcs(6, 7), Blocked: true, Wants: vcs(1)},
+		{ID: 5, Owned: vcs(8, 9), Blocked: true, Wants: vcs(1)}, // dependent
+	}
+}
+
+// PaperFig3 reconstructs Figure 3: a multi-cycle deadlock under minimal
+// adaptive routing with two VCs. Eight messages each own two VCs; heads
+// h_i (the odd-numbered VCs) wait in a ring, and two cross-waits between
+// h_0 and h_4 weave the ring into a knot of multiple overlapping cycles.
+// The deadlock set has 8 messages, the resource set 16 VCs, and the knot
+// cycle density is 4 (the ring, the 2-cycle h0<->h4, and the two mixed
+// circuits), classifying it as a multi-cycle deadlock.
+func PaperFig3() []Msg {
+	msgs := make([]Msg, 0, 8)
+	for i := 0; i < 8; i++ {
+		h := int32(2*i + 1)
+		next := int32((2*(i+1) + 1) % 16)
+		wants := vcs(next)
+		switch i {
+		case 0:
+			wants = vcs(next, 9) // h0 also waits on h4
+		case 4:
+			wants = vcs(next, 1) // h4 also waits on h0
+		}
+		msgs = append(msgs, Msg{
+			ID:      message.ID(i + 1),
+			Owned:   vcs(h-1, h),
+			Blocked: true,
+			Wants:   wants,
+		})
+	}
+	return msgs
+}
+
+// PaperFig4 reconstructs Figure 4: a cyclic non-deadlock. The scenario is
+// Figure 3's, except message 3's destination changed so that it is no
+// longer blocked — it will acquire what it needs, drain, and release its
+// VCs. Cycles remain in the CWG (through the h0/h4 cross-waits), but every
+// cycle can reach message 3's draining chain, so no vertex set satisfies
+// the knot condition: cycles are necessary but not sufficient for deadlock.
+func PaperFig4() []Msg {
+	msgs := PaperFig3()
+	msgs[2].Blocked = false
+	msgs[2].Wants = nil
+	return msgs
+}
+
+func vcs(ids ...int32) []message.VC {
+	out := make([]message.VC, len(ids))
+	for i, id := range ids {
+		out[i] = message.VC(id)
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+// Package detect wires the CWG knot theory to the running network: it
+// periodically snapshots the network's resource state into a channel
+// wait-for graph, identifies knots (true deadlocks), characterizes them,
+// selects a victim from each deadlock set and triggers Disha-style
+// flit-by-flit absorption, and keeps the aggregate deadlock and cycle-census
+// statistics the paper reports.
+package detect
+
+import (
+	"fmt"
+
+	"flexsim/internal/cwg"
+	"flexsim/internal/message"
+	"flexsim/internal/network"
+	"flexsim/internal/rng"
+)
+
+// VictimPolicy selects the message to absorb from a deadlock set.
+type VictimPolicy int8
+
+const (
+	// OldestBlocked picks the deadlock-set message blocked the longest
+	// (closest to Disha's timeout-initiated recovery). Ties break to the
+	// lowest message id.
+	OldestBlocked VictimPolicy = iota
+	// MostResources picks the message owning the most VCs, freeing the
+	// most resources per recovery.
+	MostResources
+	// FewestResources picks the message owning the fewest VCs, losing
+	// the least progress per recovery.
+	FewestResources
+	// RandomVictim picks uniformly (deterministically seeded).
+	RandomVictim
+)
+
+// ParsePolicy maps a name to a VictimPolicy.
+func ParsePolicy(name string) (VictimPolicy, error) {
+	switch name {
+	case "", "oldest":
+		return OldestBlocked, nil
+	case "most":
+		return MostResources, nil
+	case "fewest":
+		return FewestResources, nil
+	case "random":
+		return RandomVictim, nil
+	default:
+		return 0, fmt.Errorf("detect: unknown victim policy %q (oldest|most|fewest|random)", name)
+	}
+}
+
+// String returns the policy name.
+func (p VictimPolicy) String() string {
+	switch p {
+	case OldestBlocked:
+		return "oldest"
+	case MostResources:
+		return "most"
+	case FewestResources:
+		return "fewest"
+	case RandomVictim:
+		return "random"
+	default:
+		return fmt.Sprintf("VictimPolicy(%d)", int8(p))
+	}
+}
+
+// Config tunes the detector.
+type Config struct {
+	// Every is the invocation period in cycles (the paper uses 50).
+	Every int
+	// Policy selects recovery victims.
+	Policy VictimPolicy
+	// Recover enables breaking detected deadlocks; disable only to
+	// observe wedged networks.
+	Recover bool
+	// CountKnotCycles enables per-knot cycle density enumeration.
+	CountKnotCycles bool
+	// CycleCensus enables whole-graph cycle counting per invocation (the
+	// paper's cycle curves).
+	CycleCensus bool
+	// MaxCycles/MaxWork cap the enumerations (0 = cwg defaults).
+	MaxCycles int
+	MaxWork   int
+	// KeepEvents retains a full per-deadlock event log (memory-heavy on
+	// deep-saturation runs; aggregates are always kept).
+	KeepEvents bool
+	// Seed drives RandomVictim.
+	Seed uint64
+	// TimeoutThresholds, when nonempty, evaluates timeout-based deadlock
+	// approximation (à la Disha/compressionless routing) against the true
+	// knot ground truth at each pass (see TimeoutCounts).
+	TimeoutThresholds []int64
+}
+
+// Event records one detected deadlock.
+type Event struct {
+	Cycle int64
+	cwg.Deadlock
+	Victim message.ID
+}
+
+// CensusSample records one cycle-census observation.
+type CensusSample struct {
+	Cycle      int64
+	Cycles     int
+	Capped     bool
+	Blocked    int
+	Active     int
+	FlitsInNet int64
+}
+
+// Stats aggregates detection results; reset at the warmup/measure boundary.
+type Stats struct {
+	Invocations int64
+	Deadlocks   int64
+	SingleCycle int64
+	MultiCycle  int64
+
+	SumDeadlockSet int64
+	SumResourceSet int64
+	SumKnotVCs     int64
+	SumKnotCycles  int64
+	SumDependent   int64
+
+	MaxDeadlockSet int
+	MaxResourceSet int
+	MaxKnotCycles  int
+	KnotCapped     bool
+
+	// Census aggregates (only when CycleCensus).
+	CensusSamples     int64
+	SumCycles         int64
+	MaxCycles         int
+	CensusCapped      bool
+	SumBlockedAtCheck int64
+	SumActiveAtCheck  int64
+
+	// Timeout holds the per-threshold approximation quality counters
+	// (aligned with Config.TimeoutThresholds; empty when disabled).
+	Timeout []TimeoutCounts
+}
+
+// Detector performs true deadlock detection on a network.
+type Detector struct {
+	cfg Config
+	net *network.Network
+	r   *rng.Source
+
+	Stats  Stats
+	Events []Event
+	Census []CensusSample
+
+	snap     []cwg.Msg
+	ownedBuf []message.VC
+}
+
+// New builds a detector for net. A zero Every defaults to the paper's 50
+// cycles; Recover must be set explicitly (NewDefault applies the full set of
+// paper defaults).
+func New(net *network.Network, cfg Config) *Detector {
+	if cfg.Every <= 0 {
+		cfg.Every = 50
+	}
+	return &Detector{cfg: cfg, net: net, r: rng.New(cfg.Seed ^ 0xdeadbeefcafe)}
+}
+
+// NewDefault builds a detector with the paper's defaults: invoke every 50
+// cycles, recover by absorbing the longest-blocked deadlock-set message,
+// count knot cycle densities.
+func NewDefault(net *network.Network) *Detector {
+	return New(net, Config{Every: 50, Policy: OldestBlocked, Recover: true, CountKnotCycles: true})
+}
+
+// Config returns the detector configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// ResetStats clears aggregates and logs (used at the warmup/measurement
+// boundary).
+func (d *Detector) ResetStats() {
+	d.Stats = Stats{}
+	d.Events = d.Events[:0]
+	d.Census = d.Census[:0]
+}
+
+// Tick runs detection if the network's clock has reached an invocation
+// point. Call once per cycle after network.Step.
+func (d *Detector) Tick() {
+	if d.net.Now()%int64(d.cfg.Every) == 0 {
+		d.DetectNow()
+	}
+}
+
+// Snapshot builds the CWG message snapshot for the network's current state.
+func (d *Detector) Snapshot() []cwg.Msg {
+	d.snap = d.snap[:0]
+	for _, m := range d.net.ActiveMessages() {
+		if m.OwnedCount() == 0 {
+			continue
+		}
+		start := len(d.ownedBuf)
+		d.ownedBuf = m.OwnedVCs(d.ownedBuf)
+		d.snap = append(d.snap, cwg.Msg{
+			ID:      m.ID,
+			Owned:   d.ownedBuf[start:],
+			Blocked: m.Blocked && m.Status == message.Active,
+			Wants:   m.Wants,
+		})
+	}
+	return d.snap
+}
+
+// DetectNow performs one detection pass: build the CWG, find and classify
+// knots, record statistics, and (if enabled) absorb one victim per knot.
+// It returns the analysis.
+func (d *Detector) DetectNow() cwg.Analysis {
+	d.ownedBuf = d.ownedBuf[:0]
+	g := cwg.Build(d.Snapshot())
+	an := g.Analyze(cwg.Options{
+		CountKnotCycles:  d.cfg.CountKnotCycles,
+		CountTotalCycles: d.cfg.CycleCensus,
+		MaxCycles:        d.cfg.MaxCycles,
+		MaxWork:          d.cfg.MaxWork,
+	})
+	d.Stats.Invocations++
+	if d.cfg.CycleCensus {
+		d.Stats.CensusSamples++
+		d.Stats.SumCycles += int64(an.TotalCycles)
+		if an.TotalCycles > d.Stats.MaxCycles {
+			d.Stats.MaxCycles = an.TotalCycles
+		}
+		if an.TotalCyclesCapped {
+			d.Stats.CensusCapped = true
+		}
+		d.Stats.SumBlockedAtCheck += int64(d.net.BlockedCount())
+		d.Stats.SumActiveAtCheck += int64(d.net.ActiveCount())
+		d.Census = append(d.Census, CensusSample{
+			Cycle:      d.net.Now(),
+			Cycles:     an.TotalCycles,
+			Capped:     an.TotalCyclesCapped,
+			Blocked:    d.net.BlockedCount(),
+			Active:     d.net.ActiveCount(),
+			FlitsInNet: d.net.FlitsInNetwork(),
+		})
+	}
+	// Evaluate timeout approximation against ground truth before recovery
+	// mutates blocked state.
+	d.compareTimeouts(&an)
+	for i := range an.Deadlocks {
+		dl := &an.Deadlocks[i]
+		d.record(dl)
+		var victim message.ID = -1
+		if d.cfg.Recover {
+			if v := d.selectVictim(dl); v != nil {
+				victim = v.ID
+				d.net.Absorb(v)
+			}
+		}
+		if d.cfg.KeepEvents {
+			d.Events = append(d.Events, Event{Cycle: d.net.Now(), Deadlock: *dl, Victim: victim})
+		}
+	}
+	return an
+}
+
+// record folds one deadlock into the aggregates.
+func (d *Detector) record(dl *cwg.Deadlock) {
+	d.Stats.Deadlocks++
+	if dl.Kind == cwg.SingleCycle {
+		d.Stats.SingleCycle++
+	} else {
+		d.Stats.MultiCycle++
+	}
+	d.Stats.SumDeadlockSet += int64(len(dl.DeadlockSet))
+	d.Stats.SumResourceSet += int64(len(dl.ResourceSet))
+	d.Stats.SumKnotVCs += int64(len(dl.KnotVCs))
+	d.Stats.SumKnotCycles += int64(dl.KnotCycles)
+	d.Stats.SumDependent += int64(len(dl.Dependent))
+	if len(dl.DeadlockSet) > d.Stats.MaxDeadlockSet {
+		d.Stats.MaxDeadlockSet = len(dl.DeadlockSet)
+	}
+	if len(dl.ResourceSet) > d.Stats.MaxResourceSet {
+		d.Stats.MaxResourceSet = len(dl.ResourceSet)
+	}
+	if dl.KnotCycles > d.Stats.MaxKnotCycles {
+		d.Stats.MaxKnotCycles = dl.KnotCycles
+	}
+	if dl.CyclesCapped {
+		d.Stats.KnotCapped = true
+	}
+}
+
+// selectVictim applies the victim policy over the deadlock set.
+func (d *Detector) selectVictim(dl *cwg.Deadlock) *message.Message {
+	byID := make(map[message.ID]*message.Message, len(dl.DeadlockSet))
+	for _, m := range d.net.ActiveMessages() {
+		byID[m.ID] = m
+	}
+	var candidates []*message.Message
+	for _, id := range dl.DeadlockSet {
+		if m := byID[id]; m != nil && m.Status == message.Active {
+			candidates = append(candidates, m)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	switch d.cfg.Policy {
+	case MostResources:
+		best := candidates[0]
+		for _, m := range candidates[1:] {
+			if m.OwnedCount() > best.OwnedCount() {
+				best = m
+			}
+		}
+		return best
+	case FewestResources:
+		best := candidates[0]
+		for _, m := range candidates[1:] {
+			if m.OwnedCount() < best.OwnedCount() {
+				best = m
+			}
+		}
+		return best
+	case RandomVictim:
+		return candidates[d.r.Intn(len(candidates))]
+	default: // OldestBlocked
+		best := candidates[0]
+		for _, m := range candidates[1:] {
+			if m.BlockedSince < best.BlockedSince ||
+				(m.BlockedSince == best.BlockedSince && m.ID < best.ID) {
+				best = m
+			}
+		}
+		return best
+	}
+}

@@ -1,0 +1,262 @@
+package detect
+
+import (
+	"testing"
+
+	"flexsim/internal/cwg"
+	"flexsim/internal/message"
+	"flexsim/internal/network"
+	"flexsim/internal/routing"
+	"flexsim/internal/topology"
+)
+
+// ringNet builds the deterministic 4-message deadlock on a 4-node
+// unidirectional ring (each message two hops, all blocked on each other).
+func ringNet(t *testing.T) *network.Network {
+	t.Helper()
+	topo := topology.MustNew(4, 1, false)
+	n, err := network.New(network.Params{
+		Topo: topo, VCs: 1, BufferDepth: 2, Routing: routing.DOR{},
+		RecoveryDrainRate: 1, CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		n.Inject(s, (s+2)%4, 8)
+	}
+	for i := 0; i < 20; i++ {
+		n.Step()
+	}
+	return n
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]VictimPolicy{
+		"": OldestBlocked, "oldest": OldestBlocked, "most": MostResources,
+		"fewest": FewestResources, "random": RandomVictim,
+	}
+	for name, want := range cases {
+		got, err := ParsePolicy(name)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	for _, p := range []VictimPolicy{OldestBlocked, MostResources, FewestResources, RandomVictim} {
+		if p.String() == "" {
+			t.Error("empty policy name")
+		}
+	}
+}
+
+func TestDetectorFindsPlantedDeadlock(t *testing.T) {
+	n := ringNet(t)
+	d := New(n, Config{Every: 50, Policy: OldestBlocked, Recover: false,
+		CountKnotCycles: true, KeepEvents: true})
+	an := d.DetectNow()
+	if len(an.Deadlocks) != 1 {
+		t.Fatalf("deadlocks = %d, want 1", len(an.Deadlocks))
+	}
+	if d.Stats.Deadlocks != 1 || d.Stats.SingleCycle != 1 {
+		t.Errorf("stats: %+v", d.Stats)
+	}
+	if d.Stats.SumDeadlockSet != 4 {
+		t.Errorf("SumDeadlockSet = %d, want 4", d.Stats.SumDeadlockSet)
+	}
+	if len(d.Events) != 1 || d.Events[0].Victim != -1 {
+		t.Errorf("events: %+v (recovery disabled must record victim -1)", d.Events)
+	}
+}
+
+func TestDetectorRecovers(t *testing.T) {
+	n := ringNet(t)
+	d := New(n, Config{Every: 50, Policy: OldestBlocked, Recover: true,
+		CountKnotCycles: true, KeepEvents: true})
+	an := d.DetectNow()
+	if len(an.Deadlocks) != 1 {
+		t.Fatal("no deadlock found")
+	}
+	ev := d.Events[0]
+	if ev.Victim < 0 {
+		t.Fatal("no victim selected")
+	}
+	// The victim must come from the deadlock set, never the dependents.
+	inSet := false
+	for _, id := range ev.DeadlockSet {
+		if id == ev.Victim {
+			inSet = true
+		}
+	}
+	if !inSet {
+		t.Fatalf("victim %d not in deadlock set %v", ev.Victim, ev.DeadlockSet)
+	}
+	for i := 0; i < 500; i++ {
+		n.Step()
+	}
+	if n.DeliveredCount != 3 || n.RecoveredCount != 1 {
+		t.Fatalf("after recovery: delivered=%d recovered=%d", n.DeliveredCount, n.RecoveredCount)
+	}
+}
+
+func TestVictimPolicies(t *testing.T) {
+	// Build the ring deadlock where message resources differ: give one
+	// message a head start so it owns more VCs.
+	build := func() *network.Network {
+		topo := topology.MustNew(6, 1, false)
+		n, err := network.New(network.Params{
+			Topo: topo, VCs: 1, BufferDepth: 2, Routing: routing.DOR{},
+			RecoveryDrainRate: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Three messages whose held-channel chains cover the ring with
+		// different lengths: m0 holds c0,c1,c2 and wants c3 (owned by
+		// m1, holding c3,c4 and wanting c5), which m2 owns while
+		// wanting c0 — a knot with distinct resource counts per member.
+		n.Inject(0, 4, 12)
+		n.Inject(3, 0, 12)
+		n.Inject(5, 2, 12)
+		for i := 0; i < 40; i++ {
+			n.Step()
+		}
+		return n
+	}
+	n := build()
+	det := New(n, Config{Every: 50, Policy: MostResources, Recover: false, KeepEvents: true})
+	an := det.DetectNow()
+	if len(an.Deadlocks) == 0 {
+		t.Fatal("staggered scenario did not deadlock")
+	}
+	dl := an.Deadlocks[0]
+	byID := map[message.ID]*message.Message{}
+	for _, m := range n.ActiveMessages() {
+		byID[m.ID] = m
+	}
+	most := det.selectVictim(&dl)
+	for _, id := range dl.DeadlockSet {
+		if byID[id].OwnedCount() > most.OwnedCount() {
+			t.Errorf("MostResources chose %d VCs, %d available", most.OwnedCount(), byID[id].OwnedCount())
+		}
+	}
+	det.cfg.Policy = FewestResources
+	fewest := det.selectVictim(&dl)
+	for _, id := range dl.DeadlockSet {
+		if byID[id].OwnedCount() < fewest.OwnedCount() {
+			t.Errorf("FewestResources chose %d VCs, %d available", fewest.OwnedCount(), byID[id].OwnedCount())
+		}
+	}
+	det.cfg.Policy = RandomVictim
+	if det.selectVictim(&dl) == nil {
+		t.Error("RandomVictim chose nothing")
+	}
+	det.cfg.Policy = OldestBlocked
+	oldest := det.selectVictim(&dl)
+	for _, id := range dl.DeadlockSet {
+		if byID[id].BlockedSince < oldest.BlockedSince {
+			t.Error("OldestBlocked did not pick the longest-blocked message")
+		}
+	}
+}
+
+func TestTickPeriod(t *testing.T) {
+	n := ringNet(t) // Now() == 20 after setup
+	d := New(n, Config{Every: 7, Recover: false})
+	for i := 0; i < 70; i++ {
+		n.Step()
+		d.Tick()
+	}
+	// Cycles 21..90 contain exactly the multiples of 7 in that range.
+	want := int64(0)
+	for c := int64(21); c <= 90; c++ {
+		if c%7 == 0 {
+			want++
+		}
+	}
+	if d.Stats.Invocations != want {
+		t.Fatalf("invocations = %d, want %d", d.Stats.Invocations, want)
+	}
+}
+
+func TestCensusSamples(t *testing.T) {
+	n := ringNet(t)
+	d := New(n, Config{Every: 50, Recover: false, CycleCensus: true})
+	d.DetectNow()
+	d.DetectNow()
+	if d.Stats.CensusSamples != 2 {
+		t.Fatalf("census samples = %d", d.Stats.CensusSamples)
+	}
+	if len(d.Census) != 2 {
+		t.Fatalf("census log = %d entries", len(d.Census))
+	}
+	if d.Census[0].Cycles < 1 {
+		t.Errorf("census found %d cycles in a deadlocked ring", d.Census[0].Cycles)
+	}
+	if d.Census[0].Blocked != 4 || d.Census[0].Active != 4 {
+		t.Errorf("census sample: %+v", d.Census[0])
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	n := ringNet(t)
+	d := New(n, Config{Every: 50, Recover: false, KeepEvents: true, CycleCensus: true})
+	d.DetectNow()
+	if d.Stats.Deadlocks == 0 {
+		t.Fatal("setup found no deadlock")
+	}
+	d.ResetStats()
+	if d.Stats.Deadlocks != 0 || len(d.Events) != 0 || len(d.Census) != 0 {
+		t.Fatal("ResetStats left residue")
+	}
+}
+
+func TestRecoveringMessageNotReblocked(t *testing.T) {
+	// After recovery starts, the same knot must not be re-detected: the
+	// victim's chain loses its dashed arcs.
+	n := ringNet(t)
+	d := New(n, Config{Every: 50, Policy: OldestBlocked, Recover: true})
+	d.DetectNow()
+	if d.Stats.Deadlocks != 1 {
+		t.Fatal("first pass found no deadlock")
+	}
+	// Immediately re-detect (recovery drain has not finished): the broken
+	// knot must not be counted again.
+	an := d.DetectNow()
+	if len(an.Deadlocks) != 0 {
+		t.Fatalf("broken knot re-detected: %+v", an.Deadlocks)
+	}
+}
+
+func TestDefaultDetector(t *testing.T) {
+	n := ringNet(t)
+	d := NewDefault(n)
+	cfg := d.Config()
+	if cfg.Every != 50 || !cfg.Recover || !cfg.CountKnotCycles || cfg.Policy != OldestBlocked {
+		t.Errorf("NewDefault config = %+v", cfg)
+	}
+}
+
+func TestSnapshotSkipsResourceless(t *testing.T) {
+	topo := topology.MustNew(4, 1, false)
+	n, err := network.New(network.Params{Topo: topo, VCs: 1, BufferDepth: 2, Routing: routing.DOR{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Inject(0, 2, 8)
+	d := New(n, Config{Every: 50})
+	if snap := d.Snapshot(); len(snap) != 0 {
+		t.Fatalf("queued-only network produced snapshot of %d", len(snap))
+	}
+	n.Step()
+	snap := d.Snapshot()
+	if len(snap) != 1 || len(snap[0].Owned) == 0 {
+		t.Fatalf("snapshot after injection: %+v", snap)
+	}
+	g := cwg.Build(snap)
+	if g.NumVertices() == 0 {
+		t.Fatal("snapshot built empty graph")
+	}
+}

@@ -1,0 +1,701 @@
+// Package network implements the flit-level, cycle-accurate model of a
+// wormhole / virtual cut-through network that the paper's FlexSim simulator
+// provides — over any topology.Network (k-ary n-cubes, meshes, irregular
+// switch graphs): per-VC FIFO edge buffers with credit-based flow control,
+// one flit per cycle per physical channel with round-robin arbitration among
+// virtual channels, per-hop virtual channel allocation at the header,
+// release at tail departure, one injection and one reception channel per
+// node, and flit-by-flit absorption of deadlock victims (synthesized
+// Disha-style recovery).
+//
+// The model's essential properties — exclusive VC ownership from header
+// allocation to tail departure, blocking of headers whose entire routing
+// candidate set is owned, and FIFO single-message buffers — are exactly the
+// premises of the channel-wait-for-graph deadlock theory; everything else
+// (pipelining detail, arbitration fairness) only shifts constants.
+//
+// The update is two-phase per cycle (plan from pre-cycle state, then
+// commit), which keeps the simulation deterministic, prevents a flit from
+// traversing two links in one cycle, and enforces link bandwidth exactly.
+package network
+
+import (
+	"fmt"
+
+	"flexsim/internal/message"
+	"flexsim/internal/routing"
+	"flexsim/internal/topology"
+	"flexsim/internal/trace"
+)
+
+// Params configures a Network.
+type Params struct {
+	Topo topology.Network
+	// VCs is the number of virtual channels per physical channel (>= 1).
+	VCs int
+	// BufferDepth is the per-VC edge buffer capacity in flits (>= 1).
+	// A depth equal to the message length yields virtual cut-through
+	// behaviour; smaller depths yield (buffered) wormhole.
+	BufferDepth int
+	// InjBufferDepth is the injection VC buffer capacity; 0 means "same
+	// as BufferDepth".
+	InjBufferDepth int
+	// Routing is the routing relation.
+	Routing routing.Algorithm
+	// RecoveryDrainRate is the number of victim flits absorbed per cycle
+	// during deadlock recovery; 0 means instantaneous absorption.
+	RecoveryDrainRate int
+	// CheckInvariants enables per-cycle validation (tests only; costly).
+	CheckInvariants bool
+	// Tracer, if non-nil, receives message lifecycle events.
+	Tracer trace.Tracer
+}
+
+// transfer is one planned flit movement for the commit phase.
+type transfer struct {
+	msg  *message.Message
+	slot int // move one flit out of Path[slot] into Path[slot+1]
+}
+
+// Network is the simulated network state. It is not safe for concurrent
+// use; a simulation run owns one Network and steps it from a single
+// goroutine.
+type Network struct {
+	p     Params
+	topo  topology.Network
+	vcs   int
+	depth int32
+	inj   int32
+
+	now int64
+
+	numNetVCs int
+	numVCs    int
+	owner     []*message.Message // by VC id; nil = free
+
+	chRR []int32 // per physical channel: last granted VC index
+	rxRR []int32 // per node: last granted head-VC id (reception arbitration)
+
+	queues  []msgQueue // per node source queue
+	active  []*message.Message
+	nextID  message.ID
+	queued  int // total messages waiting in source queues
+	blocked int // active messages blocked as of the last allocation phase
+
+	// Per-cycle scratch, reused across cycles.
+	chReq   map[topology.ChannelID][]transfer
+	rxReq   map[int][]*message.Message
+	candBuf []routing.Candidate
+
+	// OnDeliver, if set, is called when a message is delivered normally
+	// or absorbed by recovery (Status distinguishes the two).
+	OnDeliver func(*message.Message)
+
+	// Counters (monotonic).
+	DeliveredCount int64
+	RecoveredCount int64
+	InjectedFlits  int64
+	DeliveredFlits int64
+	AbsorbedFlits  int64
+}
+
+// msgQueue is a FIFO with amortized O(1) pop.
+type msgQueue struct {
+	items []*message.Message
+	head  int
+}
+
+func (q *msgQueue) push(m *message.Message) { q.items = append(q.items, m) }
+
+func (q *msgQueue) peek() *message.Message {
+	if q.head >= len(q.items) {
+		return nil
+	}
+	return q.items[q.head]
+}
+
+func (q *msgQueue) pop() {
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+}
+
+func (q *msgQueue) len() int { return len(q.items) - q.head }
+
+// New constructs an empty network.
+func New(p Params) (*Network, error) {
+	if p.Topo == nil {
+		return nil, fmt.Errorf("network: nil topology")
+	}
+	if p.VCs < 1 {
+		return nil, fmt.Errorf("network: VCs must be >= 1, got %d", p.VCs)
+	}
+	if p.BufferDepth < 1 {
+		return nil, fmt.Errorf("network: BufferDepth must be >= 1, got %d", p.BufferDepth)
+	}
+	if p.Routing == nil {
+		return nil, fmt.Errorf("network: nil routing algorithm")
+	}
+	if p.VCs < p.Routing.MinVCs() {
+		return nil, fmt.Errorf("network: routing %q requires >= %d VCs, got %d",
+			p.Routing.Name(), p.Routing.MinVCs(), p.VCs)
+	}
+	if v, ok := p.Routing.(routing.TopologyValidator); ok {
+		if err := v.ValidateTopo(p.Topo); err != nil {
+			return nil, err
+		}
+	}
+	if p.InjBufferDepth == 0 {
+		p.InjBufferDepth = p.BufferDepth
+	}
+	t := p.Topo
+	n := &Network{
+		p:         p,
+		topo:      t,
+		vcs:       p.VCs,
+		depth:     int32(p.BufferDepth),
+		inj:       int32(p.InjBufferDepth),
+		numNetVCs: t.NumChannels() * p.VCs,
+		chRR:      make([]int32, t.NumChannels()),
+		rxRR:      make([]int32, t.Nodes()),
+		queues:    make([]msgQueue, t.Nodes()),
+		chReq:     make(map[topology.ChannelID][]transfer),
+		rxReq:     make(map[int][]*message.Message),
+	}
+	n.numVCs = n.numNetVCs + t.Nodes()
+	n.owner = make([]*message.Message, n.numVCs)
+	for i := range n.rxRR {
+		n.rxRR[i] = -1
+	}
+	for i := range n.chRR {
+		n.chRR[i] = -1
+	}
+	return n, nil
+}
+
+// --- VC id space -----------------------------------------------------------
+
+// NetVC returns the VC id for virtual channel v of physical channel ch.
+func (n *Network) NetVC(ch topology.ChannelID, v int) message.VC {
+	return message.VC(int(ch)*n.vcs + v)
+}
+
+// InjVC returns the VC id of node's injection channel.
+func (n *Network) InjVC(node int) message.VC {
+	return message.VC(n.numNetVCs + node)
+}
+
+// IsInjection reports whether vc is an injection VC.
+func (n *Network) IsInjection(vc message.VC) bool { return int(vc) >= n.numNetVCs }
+
+// VCChannel returns the physical channel of a network VC; it panics for
+// injection VCs.
+func (n *Network) VCChannel(vc message.VC) topology.ChannelID {
+	if n.IsInjection(vc) {
+		panic("network: VCChannel on injection VC")
+	}
+	return topology.ChannelID(int(vc) / n.vcs)
+}
+
+// VCIndex returns the virtual-channel index within its physical channel.
+func (n *Network) VCIndex(vc message.VC) int {
+	if n.IsInjection(vc) {
+		return 0
+	}
+	return int(vc) % n.vcs
+}
+
+// Downstream returns the node holding vc's edge buffer: the channel's
+// destination for network VCs, the node itself for injection VCs.
+func (n *Network) Downstream(vc message.VC) int {
+	if n.IsInjection(vc) {
+		return int(vc) - n.numNetVCs
+	}
+	return n.topo.ChannelDst(n.VCChannel(vc))
+}
+
+// NumVCs returns the size of the VC id space (network VCs + injection VCs).
+func (n *Network) NumVCs() int { return n.numVCs }
+
+// Owner returns the message currently owning vc, or nil.
+func (n *Network) Owner(vc message.VC) *message.Message { return n.owner[vc] }
+
+// VCString renders a VC id for logs and DOT output.
+func (n *Network) VCString(vc message.VC) string {
+	if n.IsInjection(vc) {
+		return fmt.Sprintf("inj@%d", n.Downstream(vc))
+	}
+	ch := n.VCChannel(vc)
+	return fmt.Sprintf("%s.v%d", n.topo.ChannelString(ch), n.VCIndex(vc))
+}
+
+// --- Workload interface ----------------------------------------------------
+
+// Inject enqueues a new message at src's source queue and returns it.
+func (n *Network) Inject(src, dst, length int) *message.Message {
+	m := message.New(n.nextID, src, dst, length, n.now)
+	n.nextID++
+	n.queues[src].push(m)
+	n.queued++
+	n.trace(trace.Queued, m.ID, message.NoVC, src)
+	return m
+}
+
+// trace emits a lifecycle event when tracing is enabled.
+func (n *Network) trace(kind trace.Kind, id message.ID, vc message.VC, node int) {
+	if n.p.Tracer != nil {
+		n.p.Tracer.Trace(trace.Event{Cycle: n.now, Kind: kind, Msg: id, VC: vc, Node: node})
+	}
+}
+
+// Now returns the current simulation cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// ActiveMessages returns the messages currently holding network resources.
+// The slice is owned by the network; callers must not retain it across
+// Step calls.
+func (n *Network) ActiveMessages() []*message.Message { return n.active }
+
+// ActiveCount returns the number of messages holding resources.
+func (n *Network) ActiveCount() int { return len(n.active) }
+
+// QueuedCount returns the number of messages waiting in source queues.
+func (n *Network) QueuedCount() int { return n.queued }
+
+// BlockedCount returns the number of active messages whose header was
+// blocked during the last cycle's allocation phase.
+func (n *Network) BlockedCount() int { return n.blocked }
+
+// FlitsInNetwork returns the number of flits currently held in edge buffers.
+func (n *Network) FlitsInNetwork() int64 {
+	return n.InjectedFlits - n.DeliveredFlits - n.AbsorbedFlits
+}
+
+// Params returns the construction parameters.
+func (n *Network) Params() Params { return n.p }
+
+// Topology returns the network graph.
+func (n *Network) Topology() topology.Network { return n.topo }
+
+// --- Cycle update -----------------------------------------------------------
+
+// Step advances the simulation by one cycle: recovery drain, injection
+// starts, header VC allocation, link arbitration, flit transfers, ejection
+// and VC release.
+func (n *Network) Step() {
+	n.now++
+	n.drainRecovering()
+	n.startInjections()
+	n.allocatePhase()
+	n.transferPhase()
+	n.releasePhase()
+	if n.p.CheckInvariants {
+		if err := n.CheckInvariants(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// startInjections moves queued messages into free injection VCs.
+func (n *Network) startInjections() {
+	for node := range n.queues {
+		q := &n.queues[node]
+		m := q.peek()
+		if m == nil {
+			continue
+		}
+		vc := n.InjVC(node)
+		if n.owner[vc] != nil {
+			continue
+		}
+		q.pop()
+		n.queued--
+		n.owner[vc] = m
+		m.Acquire(vc)
+		m.Status = message.Active
+		m.InjectTime = n.now
+		n.active = append(n.active, m)
+		n.trace(trace.Injected, m.ID, vc, node)
+	}
+}
+
+// allocatePhase routes every header sitting at the head of its buffer and
+// tries to allocate the first free candidate VC; failing that the message is
+// marked blocked with its candidate set recorded (the CWG dashed arcs).
+func (n *Network) allocatePhase() {
+	n.blocked = 0
+	for _, m := range n.active {
+		if m.Status != message.Active {
+			continue
+		}
+		last := len(m.Path) - 1
+		if m.Departed[last] != 0 || m.Occ[last] == 0 {
+			continue // header already departed or not yet arrived
+		}
+		here := n.Downstream(m.Path[last])
+		if here == m.Dst {
+			continue // ejecting; reception handled in transferPhase
+		}
+		req := routing.Request{
+			Topo:    n.topo,
+			Node:    here,
+			Dst:     m.Dst,
+			VCs:     n.vcs,
+			CurDim:  m.CurDim,
+			Crossed: m.Crossed,
+			PrevCh:  n.prevChannel(m),
+		}
+		if mr, ok := n.p.Routing.(routing.MisroutingFAR); ok && mr.MaxDeroutes > 0 {
+			req.Deroutes = derouteCount(n.topo, m)
+		}
+		n.candBuf = n.p.Routing.Candidates(&req, n.candBuf[:0])
+		if len(n.candBuf) == 0 {
+			panic(fmt.Sprintf("network: routing %q returned no candidates for %s at node %d",
+				n.p.Routing.Name(), m, here))
+		}
+		granted := false
+		for _, c := range n.candBuf {
+			vc := n.NetVC(c.Ch, c.VC)
+			if n.owner[vc] == nil {
+				n.owner[vc] = m
+				m.Acquire(vc)
+				if m.Blocked {
+					m.Blocked = false
+					m.Wants = m.Wants[:0]
+					n.trace(trace.Unblocked, m.ID, vc, here)
+				}
+				n.trace(trace.Allocated, m.ID, vc, here)
+				granted = true
+				break
+			}
+		}
+		if !granted {
+			if !m.Blocked {
+				m.Blocked = true
+				m.BlockedSince = n.now
+				n.trace(trace.Blocked, m.ID, message.NoVC, here)
+			}
+			m.Wants = m.Wants[:0]
+			for _, c := range n.candBuf {
+				m.Wants = append(m.Wants, n.NetVC(c.Ch, c.VC))
+			}
+			n.blocked++
+		}
+	}
+}
+
+// prevChannel returns the channel the header last traversed, or
+// topology.None while it is still in the injection VC.
+func (n *Network) prevChannel(m *message.Message) topology.ChannelID {
+	// The header resides in Path[last]; if that is a network VC, its
+	// channel is the last traversed one.
+	last := len(m.Path) - 1
+	vc := m.Path[last]
+	if n.IsInjection(vc) {
+		return topology.None
+	}
+	return n.VCChannel(vc)
+}
+
+// derouteCount counts nonminimal hops taken so far (misrouting support).
+func derouteCount(t topology.Network, m *message.Message) int {
+	minimal := t.Distance(m.Src, m.Dst)
+	hops := len(m.Path) - 1 // exclude injection VC
+	if hops <= minimal {
+		return 0
+	}
+	return hops - minimal
+}
+
+// transferPhase plans all flit movements from pre-cycle state, arbitrates
+// per physical channel and per reception port, and commits the grants.
+func (n *Network) transferPhase() {
+	// Plan: register transfer requests.
+	for ch := range n.chReq {
+		delete(n.chReq, ch)
+	}
+	for node := range n.rxReq {
+		delete(n.rxReq, node)
+	}
+	for _, m := range n.active {
+		if m.Status != message.Active {
+			continue
+		}
+		last := len(m.Path) - 1
+		for i := m.Released; i <= last; i++ {
+			if m.Occ[i] == 0 {
+				continue
+			}
+			if i < last {
+				next := m.Path[i+1]
+				if m.Occ[i+1] < n.bufDepth(next) {
+					ch := n.VCChannel(next)
+					n.chReq[ch] = append(n.chReq[ch], transfer{msg: m, slot: i})
+				}
+			} else if n.Downstream(m.Path[last]) == m.Dst {
+				// Flits at the head buffer of a message whose
+				// header has reached the destination: request
+				// the reception channel.
+				n.rxReq[m.Dst] = append(n.rxReq[m.Dst], m)
+			}
+		}
+	}
+	// Grant and commit per physical channel: round-robin over VC index.
+	for ch, reqs := range n.chReq {
+		var grant transfer
+		if len(reqs) == 1 {
+			grant = reqs[0]
+		} else {
+			grant = n.arbitrate(ch, reqs)
+		}
+		n.commit(grant)
+		n.chRR[ch] = int32(n.VCIndex(grant.msg.Path[grant.slot+1]))
+	}
+	// Grant and commit reception: round-robin over head VC id per node.
+	for node, reqs := range n.rxReq {
+		m := n.arbitrateRx(node, reqs)
+		n.eject(m)
+	}
+	// Injection last, on post-transfer occupancy, so a flit entering the
+	// injection buffer this cycle cannot also traverse a link this cycle:
+	// source flits flow into the injection buffer at one flit per cycle
+	// (dedicated channel, no arbitration — one owner at a time).
+	for _, m := range n.active {
+		if m.Status == message.Active && m.SrcRemaining > 0 && m.Occ[0] < n.inj && m.Released == 0 {
+			m.Occ[0]++
+			m.SrcRemaining--
+			n.InjectedFlits++
+		}
+	}
+}
+
+// bufDepth returns the capacity of vc's edge buffer.
+func (n *Network) bufDepth(vc message.VC) int32 {
+	if n.IsInjection(vc) {
+		return n.inj
+	}
+	return n.depth
+}
+
+// arbitrate picks the requester whose target VC index follows the channel's
+// round-robin pointer.
+func (n *Network) arbitrate(ch topology.ChannelID, reqs []transfer) transfer {
+	ptr := n.chRR[ch]
+	best := reqs[0]
+	bestKey := int32(1 << 30)
+	for _, r := range reqs {
+		v := int32(n.VCIndex(r.msg.Path[r.slot+1]))
+		key := v - ptr - 1
+		if key < 0 {
+			key += int32(n.vcs)
+		}
+		if key < bestKey {
+			bestKey = key
+			best = r
+		}
+	}
+	return best
+}
+
+// arbitrateRx picks the delivering message whose head VC id follows the
+// node's round-robin pointer.
+func (n *Network) arbitrateRx(node int, reqs []*message.Message) *message.Message {
+	ptr := n.rxRR[node]
+	best := reqs[0]
+	bestKey := int64(1) << 40
+	for _, m := range reqs {
+		v := int64(m.HeadVC())
+		key := v - int64(ptr)
+		if key <= 0 {
+			key += int64(n.numVCs)
+		}
+		if key < bestKey {
+			bestKey = key
+			best = m
+		}
+	}
+	n.rxRR[node] = int32(best.HeadVC())
+	return best
+}
+
+// commit moves one flit of t.msg from Path[t.slot] into Path[t.slot+1].
+func (n *Network) commit(t transfer) {
+	m := t.msg
+	i := t.slot
+	headerMove := m.Departed[i+1] == 0 && m.Occ[i+1] == 0
+	m.Occ[i]--
+	m.Departed[i]++
+	m.Occ[i+1]++
+	if headerMove {
+		// The header just traversed Path[i+1]'s channel: update the
+		// dimension and route-state bits the routing relation consumes
+		// (dateline crossings on tori, the down-phase commitment on
+		// irregular networks).
+		ch := n.VCChannel(m.Path[i+1])
+		m.CurDim = n.topo.ChannelDim(ch)
+		m.Crossed |= n.topo.RouteFlags(ch)
+	}
+}
+
+// eject consumes one flit of m at its destination.
+func (n *Network) eject(m *message.Message) {
+	last := len(m.Path) - 1
+	m.Occ[last]--
+	m.Departed[last]++
+	m.Consumed++
+	n.DeliveredFlits++
+	if m.Consumed == m.Len {
+		m.Status = message.Delivered
+		m.DeliverTime = n.now
+		m.Blocked = false
+		m.Wants = nil
+		n.DeliveredCount++
+		n.trace(trace.Delivered, m.ID, message.NoVC, m.Dst)
+	}
+}
+
+// releasePhase frees VCs whose buffers the tail has fully drained and
+// retires completed messages.
+func (n *Network) releasePhase() {
+	out := n.active[:0]
+	for _, m := range n.active {
+		for m.Released < len(m.Path) && m.Departed[m.Released] == int32(m.Len) {
+			n.owner[m.Path[m.Released]] = nil
+			m.Released++
+		}
+		done := (m.Status == message.Delivered || m.Status == message.Recovered) &&
+			m.Released == len(m.Path)
+		if done {
+			if n.OnDeliver != nil {
+				n.OnDeliver(m)
+			}
+			continue
+		}
+		out = append(out, m)
+	}
+	// Zero the tail so retired messages become collectable.
+	for i := len(out); i < len(n.active); i++ {
+		n.active[i] = nil
+	}
+	n.active = out
+}
+
+// --- Deadlock recovery -------------------------------------------------------
+
+// Absorb marks m as a deadlock victim to be removed from the network
+// flit-by-flit (tail-first, RecoveryDrainRate flits per cycle), synthesizing
+// a Disha-style recovery: the victim is counted as delivered out of band and
+// its VCs return to the free pool as they drain.
+func (n *Network) Absorb(m *message.Message) {
+	if m.Status != message.Active {
+		return
+	}
+	m.Status = message.Recovering
+	m.Blocked = false
+	m.Wants = m.Wants[:0]
+	n.trace(trace.RecoveryStart, m.ID, message.NoVC, -1)
+	if n.p.RecoveryDrainRate == 0 {
+		n.absorbFlits(m, m.Len-m.Consumed)
+	}
+}
+
+// drainRecovering absorbs flits of recovering messages.
+func (n *Network) drainRecovering() {
+	rate := n.p.RecoveryDrainRate
+	if rate <= 0 {
+		return
+	}
+	for _, m := range n.active {
+		if m.Status == message.Recovering {
+			n.absorbFlits(m, rate)
+		}
+	}
+}
+
+// absorbFlits removes up to k flits of m, tail-first (source remainder
+// first, then the earliest owned buffer), so VCs free in acquisition order
+// as a draining worm's would.
+func (n *Network) absorbFlits(m *message.Message, k int) {
+	for k > 0 && m.Consumed < m.Len {
+		if m.SrcRemaining > 0 {
+			m.SrcRemaining--
+			m.Consumed++
+			k--
+			continue
+		}
+		// Find the tail-most occupied slot.
+		i := m.Released
+		for i < len(m.Path) && m.Occ[i] == 0 {
+			// An owned but empty slot between tail and head can
+			// only be the not-yet-entered head allocation; skip.
+			i++
+		}
+		if i == len(m.Path) {
+			break
+		}
+		m.Occ[i]--
+		m.Departed[i]++
+		m.Consumed++
+		n.AbsorbedFlits++
+		k--
+	}
+	if m.Consumed == m.Len {
+		m.Status = message.Recovered
+		m.DeliverTime = n.now
+		n.RecoveredCount++
+		n.trace(trace.RecoveryDone, m.ID, message.NoVC, -1)
+		// Any owned slots the drain skipped (allocated, never entered)
+		// are releasable now; mark them fully departed so releasePhase
+		// frees them.
+		for i := m.Released; i < len(m.Path); i++ {
+			m.Departed[i] = int32(m.Len)
+		}
+	}
+}
+
+// --- Validation ---------------------------------------------------------------
+
+// CheckInvariants validates global consistency: flit conservation per
+// message, exclusive and consistent VC ownership, and buffer capacity
+// limits. It is O(active messages × path length).
+func (n *Network) CheckInvariants() error {
+	seen := make(map[message.VC]message.ID, 64)
+	for _, m := range n.active {
+		if m.Status == message.Recovered {
+			// recovered messages may still be draining release
+			continue
+		}
+		if err := m.CheckInvariants(); err != nil {
+			return err
+		}
+		for i := m.Released; i < len(m.Path); i++ {
+			vc := m.Path[i]
+			if prev, dup := seen[vc]; dup {
+				return fmt.Errorf("network: VC %s owned by both msg %d and msg %d",
+					n.VCString(vc), prev, m.ID)
+			}
+			seen[vc] = m.ID
+			if n.owner[vc] != m {
+				return fmt.Errorf("network: owner table for %s disagrees with msg %d path",
+					n.VCString(vc), m.ID)
+			}
+			if m.Occ[i] > n.bufDepth(vc) {
+				return fmt.Errorf("network: buffer overflow on %s: %d > %d",
+					n.VCString(vc), m.Occ[i], n.bufDepth(vc))
+			}
+		}
+	}
+	for vc, m := range n.owner {
+		if m == nil {
+			continue
+		}
+		if _, ok := seen[message.VC(vc)]; !ok && (m.Status == message.Active || m.Status == message.Recovering) {
+			return fmt.Errorf("network: VC %s owned by msg %d not found on its path range",
+				n.VCString(message.VC(vc)), m.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package network
+
+import (
+	"testing"
+
+	"flexsim/internal/routing"
+	"flexsim/internal/topology"
+	"flexsim/internal/trace"
+)
+
+// TestLifecycleEventSequence verifies the traced transitions of a single
+// delivered message: queued -> injected -> one allocation per hop ->
+// delivered, with no blocking in an empty network.
+func TestLifecycleEventSequence(t *testing.T) {
+	topo := topology.MustNew(8, 2, true)
+	var ring trace.Ring
+	var counts trace.Counter
+	n, err := New(Params{
+		Topo: topo, VCs: 1, BufferDepth: 2, Routing: routing.DOR{},
+		Tracer: trace.Multi{&ring, &counts},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := topo.Node([]int{0, 0})
+	dst := topo.Node([]int{2, 1}) // 3 hops
+	n.Inject(src, dst, 4)
+	for i := 0; i < 100; i++ {
+		n.Step()
+	}
+	if counts.Of(trace.Queued) != 1 || counts.Of(trace.Injected) != 1 || counts.Of(trace.Delivered) != 1 {
+		t.Fatalf("lifecycle counts: %+v", counts.Counts)
+	}
+	if counts.Of(trace.Allocated) != 3 {
+		t.Fatalf("allocations = %d, want 3 (one per hop)", counts.Of(trace.Allocated))
+	}
+	if counts.Of(trace.Blocked) != 0 || counts.Of(trace.Unblocked) != 0 {
+		t.Fatal("blocking events in an empty network")
+	}
+	evs := ring.Events()
+	order := []trace.Kind{trace.Queued, trace.Injected, trace.Allocated,
+		trace.Allocated, trace.Allocated, trace.Delivered}
+	if len(evs) != len(order) {
+		t.Fatalf("got %d events: %v", len(evs), evs)
+	}
+	for i, k := range order {
+		if evs[i].Kind != k {
+			t.Fatalf("event %d = %v, want %v (sequence %v)", i, evs[i].Kind, k, evs)
+		}
+		if evs[i].Msg != 0 {
+			t.Fatalf("event %d for wrong message %d", i, evs[i].Msg)
+		}
+	}
+}
+
+// TestBlockAndRecoveryEvents verifies that deadlock formation and recovery
+// produce the blocked / recovery-start / recovery-done transitions.
+func TestBlockAndRecoveryEvents(t *testing.T) {
+	topo := topology.MustNew(4, 1, false)
+	var counts trace.Counter
+	n, err := New(Params{
+		Topo: topo, VCs: 1, BufferDepth: 2, Routing: routing.DOR{},
+		RecoveryDrainRate: 1, Tracer: &counts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		n.Inject(s, (s+2)%4, 8)
+	}
+	for i := 0; i < 20; i++ {
+		n.Step()
+	}
+	if counts.Of(trace.Blocked) != 4 {
+		t.Fatalf("blocked events = %d, want 4", counts.Of(trace.Blocked))
+	}
+	victim := n.ActiveMessages()[0]
+	n.Absorb(victim)
+	for i := 0; i < 500; i++ {
+		n.Step()
+	}
+	if counts.Of(trace.RecoveryStart) != 1 || counts.Of(trace.RecoveryDone) != 1 {
+		t.Fatalf("recovery events: start=%d done=%d",
+			counts.Of(trace.RecoveryStart), counts.Of(trace.RecoveryDone))
+	}
+	// The three survivors each unblock once the victim's channels free.
+	if counts.Of(trace.Unblocked) != 3 {
+		t.Fatalf("unblocked events = %d, want 3", counts.Of(trace.Unblocked))
+	}
+	if counts.Of(trace.Delivered) != 3 {
+		t.Fatalf("delivered events = %d, want 3", counts.Of(trace.Delivered))
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+)
+
+func irregularCfg() Config {
+	c := tiny()
+	c.IrregularNodes = 24
+	c.IrregularLinks = 8
+	c.Routing = "min-adaptive"
+	c.Traffic = "uniform"
+	return c
+}
+
+func TestIrregularRuns(t *testing.T) {
+	c := irregularCfg()
+	c.Load = 0.8
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered on the irregular network")
+	}
+	if res.Nodes != 24 {
+		t.Errorf("nodes = %d", res.Nodes)
+	}
+}
+
+// TestUpDownNeverDeadlocks: up*/down* routing must produce zero knots on
+// random irregular networks across seeds and densities, even at overload.
+func TestUpDownNeverDeadlocks(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		for _, extra := range []int{0, 6, 20} {
+			c := irregularCfg()
+			c.Routing = "updown"
+			c.IrregularLinks = extra
+			c.Load = 1.2
+			c.Seed = seed
+			res, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Deadlocks != 0 {
+				t.Errorf("seed %d extra %d: up*/down* deadlocked %d times",
+					seed, extra, res.Deadlocks)
+			}
+			if res.Delivered == 0 {
+				t.Errorf("seed %d extra %d: nothing delivered", seed, extra)
+			}
+		}
+	}
+}
+
+// TestMinAdaptiveDeadlocksOnIrregular: unrestricted adaptive routing on a
+// moderately dense irregular network at overload must form real deadlocks
+// that recovery resolves. (Near-tree networks rarely deadlock: minimal
+// routes on a tree cannot form cyclic channel dependencies, so a few cross
+// links are needed.)
+func TestMinAdaptiveDeadlocksOnIrregular(t *testing.T) {
+	deadlocks := int64(0)
+	for seed := uint64(1); seed <= 4 && deadlocks == 0; seed++ {
+		c := irregularCfg()
+		c.IrregularNodes = 32
+		c.IrregularLinks = 8
+		c.Load = 1.0
+		c.WarmupCycles = 500
+		c.MeasureCycles = 4000
+		c.Seed = seed
+		res, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadlocks += res.Deadlocks
+		if res.Deadlocks > 0 && res.Recovered == 0 {
+			t.Error("deadlocks detected but none recovered")
+		}
+	}
+	if deadlocks == 0 {
+		t.Error("no deadlock on any irregular network; expected some at overload")
+	}
+}
+
+func TestIrregularRejectsBadCombos(t *testing.T) {
+	c := irregularCfg()
+	c.Routing = "dor" // torus relation on irregular topology
+	if _, err := Run(c); err == nil {
+		t.Error("DOR accepted on an irregular network")
+	}
+	c = irregularCfg()
+	c.Traffic = "transpose" // coordinate pattern on irregular topology
+	if _, err := Run(c); err == nil {
+		t.Error("transpose traffic accepted on an irregular network")
+	}
+	c = irregularCfg()
+	c.IrregularNodes = 1
+	if _, err := Run(c); err == nil {
+		t.Error("1-node irregular network accepted")
+	}
+	// up*/down* must be rejected on tori.
+	c = tiny()
+	c.Routing = "updown"
+	if _, err := Run(c); err == nil {
+		t.Error("up*/down* accepted on a torus")
+	}
+}
+
+func TestIrregularDeterministicTopology(t *testing.T) {
+	c := irregularCfg()
+	c.Load = 0.7
+	a, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delivered != b.Delivered || a.Deadlocks != b.Deadlocks || a.SumLatency != b.SumLatency {
+		t.Fatal("irregular runs with the same seed diverged")
+	}
+}

@@ -1,0 +1,397 @@
+// Package sim assembles topology, routing, network, traffic, detection and
+// statistics into a reproducible single run: warm the network up, measure
+// for a fixed window with the deadlock detector invoked periodically
+// (recovering from any deadlock it finds, including during warmup), and
+// report a stats.Result.
+//
+// The cycle loop is single-goroutine and fully deterministic per seed;
+// parallelism belongs one level up (core.LoadSweep runs independent points
+// on separate goroutines).
+package sim
+
+import (
+	"fmt"
+
+	"flexsim/internal/detect"
+	"flexsim/internal/message"
+	"flexsim/internal/network"
+	"flexsim/internal/rng"
+	"flexsim/internal/routing"
+	"flexsim/internal/stats"
+	"flexsim/internal/topology"
+	"flexsim/internal/trace"
+	"flexsim/internal/traffic"
+	"flexsim/internal/workload"
+)
+
+// Config describes one simulation run. The zero value is not runnable; use
+// Default() and override.
+type Config struct {
+	// Topology.
+	K             int
+	N             int
+	Bidirectional bool
+	// Mesh disables wraparound links (k-ary n-mesh; always
+	// bidirectional). On a mesh, DOR and the turn-model algorithms are
+	// deadlock-free.
+	Mesh bool
+	// IrregularNodes, when > 0, replaces the k-ary n-cube with a random
+	// connected irregular switch network of that many nodes (the paper's
+	// future-work topology), with IrregularLinks links beyond its
+	// spanning tree, derived deterministically from Seed. Use routing
+	// "updown" (deadlock-free) or "min-adaptive" (unrestricted) and a
+	// non-coordinate traffic pattern (uniform, hotspot).
+	IrregularNodes int
+	IrregularLinks int
+
+	// Router resources.
+	VCs         int // virtual channels per physical channel
+	BufferDepth int // flits per VC edge buffer
+	MsgLen      int // flits per message
+	// Hybrid (bimodal) message lengths — the paper's future-work item.
+	// When ShortFrac > 0, each message is MsgLenShort flits with that
+	// probability and MsgLen flits otherwise; offered load normalizes by
+	// the mean length.
+	MsgLenShort int
+	ShortFrac   float64
+
+	// Routing and traffic.
+	Routing     string  // routing.Names()
+	Traffic     string  // traffic.Names()
+	HotspotFrac float64 // for Traffic == "hotspot"
+	Load        float64 // normalized offered load (1.0 = capacity)
+
+	// Workload, when nonempty, replaces the open-loop traffic process
+	// with a program-driven driver ("stencil" or "allreduce" — the
+	// paper's program-driven-simulation future-work item). The run then
+	// executes WorkloadPhases phases with ComputeDelay compute cycles
+	// between them, ending when the program completes (or at the
+	// WarmupCycles+MeasureCycles safety cap); Load and Traffic are
+	// ignored.
+	Workload       string
+	WorkloadPhases int
+	ComputeDelay   int
+
+	// Run control.
+	Seed          uint64
+	WarmupCycles  int
+	MeasureCycles int
+
+	// Deadlock detection and recovery.
+	DetectEvery       int    // detector period (paper: 50)
+	VictimPolicy      string // detect.ParsePolicy
+	Recover           bool
+	KnotCycles        bool // count knot cycle densities
+	CycleCensus       bool // whole-graph cycle census per invocation
+	MaxCycles         int  // enumeration cap (0 = default)
+	MaxWork           int
+	RecoveryDrainRate int // victim flits absorbed per cycle (0 = instant)
+	KeepEvents        bool
+	// TimeoutThresholds enables timeout-approximation scoring against
+	// true detection (see detect.TimeoutCounts); results are read from
+	// Runner.Detector.Stats.Timeout.
+	TimeoutThresholds []int64
+
+	// Validation.
+	CheckInvariants bool
+
+	// Tracer, if non-nil, receives message lifecycle events from the
+	// network (see the trace package).
+	Tracer trace.Tracer
+
+	// Label for result tables; defaults to "<routing><vcs>".
+	Label string
+}
+
+// Default returns the paper's default configuration: 16-ary 2-cube,
+// bidirectional, 1 VC, 2-flit buffers, 32-flit messages, uniform traffic,
+// TFAR, detector every 50 cycles with oldest-blocked victim recovery, 30 000
+// measured cycles.
+func Default() Config {
+	return Config{
+		K: 16, N: 2, Bidirectional: true,
+		VCs: 1, BufferDepth: 2, MsgLen: 32,
+		Routing: "tfar", Traffic: "uniform",
+		Load:         0.5,
+		Seed:         1,
+		WarmupCycles: 10000, MeasureCycles: 30000,
+		DetectEvery: 50, VictimPolicy: "oldest",
+		Recover: true, KnotCycles: true,
+		RecoveryDrainRate: 1,
+	}
+}
+
+// Quick returns a scaled-down configuration (8-ary 2-cube, short windows)
+// for tests and benchmarks.
+func Quick() Config {
+	c := Default()
+	c.K = 8
+	c.WarmupCycles = 1000
+	c.MeasureCycles = 4000
+	return c
+}
+
+// label returns the run label.
+func (c Config) label() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	return fmt.Sprintf("%s%d", c.Routing, c.VCs)
+}
+
+// Runner is a fully constructed simulation ready to step; most callers use
+// Run, but examples and tests step Runners directly to observe state.
+type Runner struct {
+	Cfg      Config
+	Topo     topology.Network
+	Net      *network.Network
+	Detector *detect.Detector
+	Proc     *traffic.Process
+	Workload workload.Driver // nil for open-loop traffic
+
+	res       stats.Result
+	measuring bool
+	sumAct    int64
+	sumBlk    int64
+	sumQue    int64
+	sumFlt    int64
+	samples   int64
+}
+
+// NewRunner validates the configuration and builds the simulation.
+func NewRunner(c Config) (*Runner, error) {
+	if c.MsgLen < 1 {
+		return nil, fmt.Errorf("sim: MsgLen must be >= 1, got %d", c.MsgLen)
+	}
+	if c.Load < 0 {
+		return nil, fmt.Errorf("sim: Load must be >= 0, got %g", c.Load)
+	}
+	var topo topology.Network
+	var err error
+	switch {
+	case c.IrregularNodes > 0:
+		topo, err = topology.NewIrregular(c.IrregularNodes, c.IrregularLinks, c.Seed)
+	case c.Mesh:
+		topo, err = topology.NewMesh(c.K, c.N)
+	default:
+		topo, err = topology.New(c.K, c.N, c.Bidirectional)
+	}
+	if err != nil {
+		return nil, err
+	}
+	alg, err := routing.ByName(c.Routing)
+	if err != nil {
+		return nil, err
+	}
+	net, err := network.New(network.Params{
+		Topo:              topo,
+		VCs:               c.VCs,
+		BufferDepth:       c.BufferDepth,
+		Routing:           alg,
+		RecoveryDrainRate: c.RecoveryDrainRate,
+		CheckInvariants:   c.CheckInvariants,
+		Tracer:            c.Tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pat, err := traffic.ByName(c.Traffic, topo, c.HotspotFrac)
+	if err != nil {
+		return nil, err
+	}
+	var dist traffic.LengthDist = traffic.Fixed(c.MsgLen)
+	if c.ShortFrac > 0 {
+		b := traffic.Bimodal{Short: c.MsgLenShort, Long: c.MsgLen, ShortFrac: c.ShortFrac}
+		if err := b.Validate(); err != nil {
+			return nil, err
+		}
+		dist = b
+	}
+	policy, err := detect.ParsePolicy(c.VictimPolicy)
+	if err != nil {
+		return nil, err
+	}
+	det := detect.New(net, detect.Config{
+		Every:             c.DetectEvery,
+		Policy:            policy,
+		Recover:           c.Recover,
+		CountKnotCycles:   c.KnotCycles,
+		CycleCensus:       c.CycleCensus,
+		MaxCycles:         c.MaxCycles,
+		MaxWork:           c.MaxWork,
+		KeepEvents:        c.KeepEvents,
+		Seed:              c.Seed,
+		TimeoutThresholds: c.TimeoutThresholds,
+	})
+	r := &Runner{
+		Cfg:      c,
+		Topo:     topo,
+		Net:      net,
+		Detector: det,
+		Proc:     traffic.NewProcess(topo, pat, c.Load, dist, rng.New(c.Seed)),
+	}
+	if c.Workload != "" {
+		phases := c.WorkloadPhases
+		if phases <= 0 {
+			phases = 10
+		}
+		var drv workload.Driver
+		switch c.Workload {
+		case "stencil":
+			drv, err = workload.NewStencil(topo, phases, c.MsgLen, c.ComputeDelay)
+		case "allreduce":
+			drv, err = workload.NewAllReduce(topo, phases, c.MsgLen, c.ComputeDelay)
+		default:
+			err = fmt.Errorf("sim: unknown workload %q (stencil|allreduce)", c.Workload)
+		}
+		if err != nil {
+			return nil, err
+		}
+		r.Workload = drv
+	}
+	net.OnDeliver = r.onDeliver
+	r.res = stats.Result{
+		Label:      c.label(),
+		Load:       c.Load,
+		Nodes:      topo.Nodes(),
+		MeanMsgLen: dist.Mean(),
+		Seed:       c.Seed,
+	}
+	return r, nil
+}
+
+func (r *Runner) onDeliver(m *message.Message) {
+	if r.Workload != nil {
+		r.Workload.Delivered(m)
+	}
+	if !r.measuring {
+		return
+	}
+	r.res.Delivered++
+	r.res.DeliveredFlits += int64(m.Len)
+	if m.Status == message.Recovered {
+		r.res.Recovered++
+	} else {
+		lat := m.DeliverTime - m.CreateTime
+		r.res.SumLatency += lat
+		r.res.LatencyN++
+		r.res.Latency.Observe(lat)
+	}
+}
+
+// StepCycle advances the simulation by one cycle: generate traffic (open- or
+// closed-loop), step the network, run the detector if due, and sample
+// occupancy statistics.
+func (r *Runner) StepCycle() {
+	inject := func(src, dst, length int) {
+		r.Net.Inject(src, dst, length)
+		if r.measuring {
+			r.res.Generated++
+			r.res.GeneratedFlits += int64(length)
+		}
+	}
+	if r.Workload != nil {
+		r.Workload.Tick(r.Net.Now()+1, func(src, dst, length int) *message.Message {
+			m := r.Net.Inject(src, dst, length)
+			if r.measuring {
+				r.res.Generated++
+				r.res.GeneratedFlits += int64(length)
+			}
+			return m
+		})
+	} else {
+		r.Proc.Generate(inject)
+	}
+	r.Net.Step()
+	r.Detector.Tick()
+	if r.measuring {
+		act := r.Net.ActiveCount()
+		r.sumAct += int64(act)
+		r.sumBlk += int64(r.Net.BlockedCount())
+		r.sumQue += int64(r.Net.QueuedCount())
+		r.sumFlt += r.Net.FlitsInNetwork()
+		r.samples++
+		if act > r.res.PeakActive {
+			r.res.PeakActive = act
+		}
+	}
+}
+
+// Run executes warmup then measurement and returns the result. Program-
+// driven runs skip warmup and execute until the program completes (or the
+// WarmupCycles+MeasureCycles safety cap).
+func (r *Runner) Run() *stats.Result {
+	if r.Workload != nil {
+		r.StartMeasurement()
+		limit := int64(r.Cfg.WarmupCycles + r.Cfg.MeasureCycles)
+		for !r.Workload.Done() && r.Net.Now() < limit {
+			r.StepCycle()
+		}
+		r.Cfg.MeasureCycles = int(r.Net.Now())
+		return r.Finish()
+	}
+	for i := 0; i < r.Cfg.WarmupCycles; i++ {
+		r.StepCycle()
+	}
+	r.StartMeasurement()
+	for i := 0; i < r.Cfg.MeasureCycles; i++ {
+		r.StepCycle()
+	}
+	return r.Finish()
+}
+
+// StartMeasurement resets counters at the warmup boundary.
+func (r *Runner) StartMeasurement() {
+	r.Detector.ResetStats()
+	r.res.QueuedStart = r.Net.QueuedCount()
+	r.measuring = true
+}
+
+// Finish folds detector aggregates into the result and returns it.
+func (r *Runner) Finish() *stats.Result {
+	res := &r.res
+	res.Cycles = int64(r.Cfg.MeasureCycles)
+	if r.samples > 0 {
+		res.MeanActive = float64(r.sumAct) / float64(r.samples)
+		res.MeanBlocked = float64(r.sumBlk) / float64(r.samples)
+		res.MeanQueued = float64(r.sumQue) / float64(r.samples)
+		res.MeanFlits = float64(r.sumFlt) / float64(r.samples)
+	}
+	s := &r.Detector.Stats
+	res.Deadlocks = s.Deadlocks
+	res.SingleCycle = s.SingleCycle
+	res.MultiCycle = s.MultiCycle
+	res.SumDeadlockSet = s.SumDeadlockSet
+	res.SumResourceSet = s.SumResourceSet
+	res.SumKnotVCs = s.SumKnotVCs
+	res.SumKnotCycles = s.SumKnotCycles
+	res.SumDependent = s.SumDependent
+	res.MaxDeadlockSet = s.MaxDeadlockSet
+	res.MaxResourceSet = s.MaxResourceSet
+	res.MaxKnotCycles = s.MaxKnotCycles
+	res.CensusSamples = s.CensusSamples
+	res.SumCycles = s.SumCycles
+	res.MaxCycles = s.MaxCycles
+	res.CensusCapped = s.CensusCapped
+	// A run is saturated when the offered load exceeds what the network
+	// sustains: source queues grow across the measurement window. The
+	// threshold (5% of offered messages, at least 8) tolerates pipeline
+	// fill and burst noise on short windows.
+	res.QueuedEnd = r.Net.QueuedCount()
+	growth := int64(res.QueuedEnd - res.QueuedStart)
+	threshold := res.Generated / 20
+	if threshold < 8 {
+		threshold = 8
+	}
+	res.Saturated = growth > threshold
+	return res
+}
+
+// Run builds and executes one simulation.
+func Run(c Config) (*stats.Result, error) {
+	r, err := NewRunner(c)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(), nil
+}

@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"testing"
+)
+
+// tiny returns a fast configuration for integration tests.
+func tiny() Config {
+	c := Quick()
+	c.K = 4
+	c.WarmupCycles = 200
+	c.MeasureCycles = 800
+	c.CheckInvariants = true
+	return c
+}
+
+func TestRunBasic(t *testing.T) {
+	c := tiny()
+	c.Routing = "dor"
+	c.VCs = 1
+	c.Load = 0.5
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if res.Cycles != 800 || res.Nodes != 16 || res.MeanMsgLen != 32 {
+		t.Errorf("config echo wrong: %+v", res)
+	}
+	if res.MeanLatency() <= 0 {
+		t.Error("nonpositive latency")
+	}
+	if res.Label != "dor1" {
+		t.Errorf("default label = %q", res.Label)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.K = 1 },
+		func(c *Config) { c.N = 0 },
+		func(c *Config) { c.VCs = 0 },
+		func(c *Config) { c.BufferDepth = 0 },
+		func(c *Config) { c.MsgLen = 0 },
+		func(c *Config) { c.Load = -1 },
+		func(c *Config) { c.Routing = "nope" },
+		func(c *Config) { c.Traffic = "nope" },
+		func(c *Config) { c.VictimPolicy = "nope" },
+		func(c *Config) { c.Routing = "dateline-dor"; c.VCs = 1 },
+		func(c *Config) { c.Traffic = "bitrev"; c.K = 3 },
+	}
+	for i, mutate := range bad {
+		c := tiny()
+		mutate(&c)
+		if _, err := Run(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	c := tiny()
+	c.Routing = "tfar"
+	c.Load = 0.9
+	a, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delivered != b.Delivered || a.Deadlocks != b.Deadlocks ||
+		a.SumLatency != b.SumLatency || a.Generated != b.Generated {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	c := tiny()
+	c.Load = 0.7
+	a, _ := Run(c)
+	c.Seed = c.Seed + 1
+	b, _ := Run(c)
+	if a.Generated == b.Generated && a.SumLatency == b.SumLatency && a.Delivered == b.Delivered {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestLowLoadNotSaturated(t *testing.T) {
+	c := tiny()
+	c.Routing = "tfar"
+	c.VCs = 2
+	c.Load = 0.15
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturated {
+		t.Errorf("15%% load reported saturated: %s", res)
+	}
+	if res.Deadlocks != 0 {
+		t.Errorf("TFAR2 deadlocked at low load: %d", res.Deadlocks)
+	}
+}
+
+func TestHighLoadSaturates(t *testing.T) {
+	c := tiny()
+	c.Routing = "dor"
+	c.VCs = 1
+	c.Load = 1.5
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Errorf("150%% load not saturated: %s", res)
+	}
+	if res.MeanQueued == 0 {
+		t.Error("saturated run has empty source queues")
+	}
+}
+
+// TestAvoidanceNeverDeadlocks is the strongest end-to-end property: under
+// provably deadlock-free routing, the true deadlock detector must never find
+// a knot, across seeds and loads, even deep into saturation.
+func TestAvoidanceNeverDeadlocks(t *testing.T) {
+	for _, alg := range []struct {
+		name string
+		vcs  int
+	}{{"dateline-dor", 2}, {"dateline-dor", 3}, {"duato-far", 3}, {"duato-far", 4}} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			for _, load := range []float64{0.6, 1.2} {
+				c := tiny()
+				c.Routing = alg.name
+				c.VCs = alg.vcs
+				c.Load = load
+				c.Seed = seed
+				res, err := Run(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Deadlocks != 0 {
+					t.Errorf("%s/%dVC seed=%d load=%.1f: %d deadlocks under deadlock-free routing",
+						alg.name, alg.vcs, seed, load, res.Deadlocks)
+				}
+				if res.Delivered == 0 {
+					t.Errorf("%s/%dVC: nothing delivered", alg.name, alg.vcs)
+				}
+			}
+		}
+	}
+}
+
+// TestRecoveryKeepsNetworkLive: with recovery on, even the most
+// deadlock-prone configuration keeps delivering deep into saturation.
+func TestRecoveryKeepsNetworkLive(t *testing.T) {
+	c := tiny()
+	c.Bidirectional = false
+	c.Routing = "dor"
+	c.VCs = 1
+	c.Load = 1.0
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocks == 0 {
+		t.Fatal("uni-torus DOR at saturation produced no deadlocks")
+	}
+	if res.Delivered <= res.Recovered {
+		t.Errorf("few normal deliveries: %d delivered, %d recovered", res.Delivered, res.Recovered)
+	}
+}
+
+// TestNoRecoveryWedges: with recovery disabled, the same configuration
+// eventually wedges (blocked count stays high, delivery stalls).
+func TestNoRecoveryWedges(t *testing.T) {
+	c := tiny()
+	c.MeasureCycles = 4000 // long enough for unbroken deadlocks to spread
+	c.Bidirectional = false
+	c.Routing = "dor"
+	c.VCs = 1
+	c.Load = 1.0
+	c.Recover = false
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocks == 0 {
+		t.Fatal("no deadlocks detected")
+	}
+	c.Recover = true
+	live, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wedged: fewer deliveries and more standing blockage than with
+	// recovery.
+	if res.Delivered >= live.Delivered {
+		t.Errorf("wedged run delivered %d vs live %d; expected a collapse", res.Delivered, live.Delivered)
+	}
+	if res.MeanBlocked <= live.MeanBlocked {
+		t.Errorf("wedged blockage %.1f not above live %.1f", res.MeanBlocked, live.MeanBlocked)
+	}
+}
+
+func TestRunnerStepAndFinish(t *testing.T) {
+	c := tiny()
+	c.Load = 0.5
+	r, err := NewRunner(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		r.StepCycle()
+	}
+	r.StartMeasurement()
+	for i := 0; i < 300; i++ {
+		r.StepCycle()
+	}
+	c.MeasureCycles = 300
+	r.Cfg.MeasureCycles = 300
+	res := r.Finish()
+	if res.Cycles != 300 {
+		t.Errorf("cycles = %d", res.Cycles)
+	}
+	if res.MeanActive <= 0 {
+		t.Error("no occupancy sampled")
+	}
+}
+
+func TestCustomLabel(t *testing.T) {
+	c := tiny()
+	c.Label = "custom"
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Label != "custom" {
+		t.Errorf("label = %q", res.Label)
+	}
+}
+
+func TestKeepEventsRecordsDeadlocks(t *testing.T) {
+	c := tiny()
+	c.Bidirectional = false
+	c.Routing = "dor"
+	c.Load = 1.0
+	c.KeepEvents = true
+	r, err := NewRunner(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	if res.Deadlocks == 0 {
+		t.Fatal("no deadlocks")
+	}
+	if int64(len(r.Detector.Events)) != res.Deadlocks {
+		t.Errorf("event log has %d entries, %d deadlocks", len(r.Detector.Events), res.Deadlocks)
+	}
+	for _, ev := range r.Detector.Events {
+		if len(ev.DeadlockSet) == 0 || ev.Victim < 0 {
+			t.Errorf("malformed event: %+v", ev)
+		}
+	}
+}
+
+func TestCycleCensusIntegration(t *testing.T) {
+	c := tiny()
+	c.Routing = "tfar"
+	c.Load = 1.0
+	c.CycleCensus = true
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CensusSamples == 0 {
+		t.Fatal("census enabled but no samples")
+	}
+	wantSamples := int64(c.MeasureCycles / c.DetectEvery)
+	if res.CensusSamples != wantSamples {
+		t.Errorf("census samples = %d, want %d", res.CensusSamples, wantSamples)
+	}
+}

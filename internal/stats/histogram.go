@@ -1,0 +1,133 @@
+package stats
+
+// Latency histograms with approximate percentiles. Deadlocks and recovery
+// produce heavy latency tails that a mean hides; the engine records every
+// delivered message's latency in a log-scaled histogram (2% worst-case
+// relative error per bucket boundary) from which p50/p95/p99/max are
+// derived.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a log-bucketed histogram of non-negative integer samples.
+// The zero value is ready to use.
+type Histogram struct {
+	counts []int64
+	total  int64
+	sum    int64
+	max    int64
+}
+
+// growth is the bucket boundary ratio: ~4% wide buckets (2% error).
+const growth = 1.04
+
+// bucketOf maps a sample to its bucket index: 0..63 directly, log-scaled
+// above.
+func bucketOf(v int64) int {
+	if v < 64 {
+		return int(v)
+	}
+	return 64 + int(math.Log(float64(v)/64)/math.Log(growth))
+}
+
+// boundOf returns a representative (upper-bound) value for bucket b.
+func boundOf(b int) int64 {
+	if b < 64 {
+		return int64(b)
+	}
+	return int64(64 * math.Pow(growth, float64(b-63)))
+}
+
+// Observe records one sample; negative samples are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bucketOf(v)
+	if b >= len(h.counts) {
+		grown := make([]int64, b+16)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[b]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the exact sample mean.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Max returns the exact maximum sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns an approximation of the q-quantile (q in [0,1]); the
+// result is exact below 64 and within ~4% above.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.total-1))
+	var seen int64
+	for b, c := range h.counts {
+		seen += c
+		if seen > rank {
+			v := boundOf(b)
+			if v > h.max {
+				return h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.total == 0 {
+		return
+	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]int64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for b, c := range other.counts {
+		h.counts[b] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "no samples"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f p50=%d p95=%d p99=%d max=%d",
+		h.total, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.max)
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero-value histogram not empty")
+	}
+	if h.String() != "no samples" {
+		t.Errorf("String = %q", h.String())
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < 64; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 64 || h.Max() != 63 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("p0 = %d", got)
+	}
+	if got := h.Quantile(1); got != 63 {
+		t.Errorf("p100 = %d", got)
+	}
+	if got := h.Quantile(0.5); got < 30 || got > 33 {
+		t.Errorf("p50 = %d", got)
+	}
+	if math.Abs(h.Mean()-31.5) > 1e-9 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Quantiles of large samples must be within ~5% of the true value.
+	var h Histogram
+	const n = 100000
+	for i := int64(1); i <= n; i++ {
+		h.Observe(i)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		want := q * n
+		got := float64(h.Quantile(q))
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("q=%.2f: got %v, want ~%v", q, got, want)
+		}
+	}
+	if h.Max() != n {
+		t.Errorf("max = %d", h.Max())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatal("negative sample not clamped")
+	}
+}
+
+func TestHistogramQuantileClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	if h.Quantile(-1) != 10 || h.Quantile(2) != 10 {
+		t.Error("out-of-range quantiles not clamped")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := int64(0); i < 100; i++ {
+		a.Observe(i)
+		b.Observe(i + 1000)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != 1099 {
+		t.Errorf("merged max = %d", a.Max())
+	}
+	if got := a.Quantile(0.25); got > 100 {
+		t.Errorf("p25 = %d, should come from the low half", got)
+	}
+	if got := a.Quantile(0.75); got < 900 {
+		t.Errorf("p75 = %d, should come from the high half", got)
+	}
+	var empty Histogram
+	a.Merge(&empty) // must be a no-op
+	if a.Count() != 200 {
+		t.Error("merging empty changed count")
+	}
+}
+
+func TestHistogramMonotoneQuantiles(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Observe(int64(v))
+		}
+		prev := int64(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 1} {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return h.Count() == int64(len(vals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Observe(50)
+	h.Observe(5000)
+	s := h.String()
+	for _, want := range []string{"n=2", "p50=", "max=5000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	p := &Plot{Title: "demo", XLabel: "load", YLabel: "ndl", Width: 20, Height: 5}
+	if err := p.Add("a", []float64{0, 1, 2}, []float64{0, 1, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add("b", []float64{0, 1, 2}, []float64{4, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	for _, want := range []string{"demo", "o a", "+ b", "x: load", "y: ndl"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "o") < 3 {
+		t.Errorf("series marks missing:\n%s", out)
+	}
+}
+
+func TestPlotMismatchedSeries(t *testing.T) {
+	p := &Plot{}
+	if err := p.Add("bad", []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	out := p.Render()
+	if !strings.Contains(out, "no plottable points") {
+		t.Errorf("empty plot output: %q", out)
+	}
+}
+
+func TestPlotLogYDropsNonPositive(t *testing.T) {
+	p := &Plot{LogY: true, Width: 10, Height: 4}
+	if err := p.Add("s", []float64{0, 1, 2}, []float64{0, 0.001, 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	// Only the two positive points plot (the third 'o' is the legend).
+	grid := out[:strings.LastIndex(out, "o s")]
+	if got := strings.Count(grid, "o"); got != 2 {
+		t.Errorf("plotted %d points, want 2:\n%s", got, out)
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	p := &Plot{Width: 8, Height: 3}
+	if err := p.Add("s", []float64{1, 1}, []float64{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if out := p.Render(); !strings.Contains(out, "o") {
+		t.Errorf("degenerate plot lost its point:\n%s", out)
+	}
+}
+
+func TestPlotTableAndNumericColumns(t *testing.T) {
+	tbl := NewTable("fig", "load", "ndl_a", "label", "ndl_b")
+	tbl.AddRow(0.2, 0.001, "x", 0.01)
+	tbl.AddRow(0.4, 0.002, "y", 0.02)
+	cols := tbl.NumericColumns()
+	if len(cols) != 3 || cols[0] != 0 || cols[1] != 1 || cols[2] != 3 {
+		t.Fatalf("NumericColumns = %v", cols)
+	}
+	p, err := PlotTable(tbl, cols[0], cols[1:], true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	if !strings.Contains(out, "ndl_a") || !strings.Contains(out, "ndl_b") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if _, err := PlotTable(tbl, 99, []int{1}, false); err == nil {
+		t.Error("bad x column accepted")
+	}
+	if _, err := PlotTable(tbl, 0, []int{99}, false); err == nil {
+		t.Error("bad y column accepted")
+	}
+}
+
+func TestNumericColumnsEmptyTable(t *testing.T) {
+	tbl := NewTable("t", "a")
+	if cols := tbl.NumericColumns(); cols != nil {
+		t.Errorf("empty table numeric columns = %v", cols)
+	}
+}

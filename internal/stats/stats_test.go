@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Result {
+	return &Result{
+		Label: "DOR1", Load: 0.6, Cycles: 1000, Nodes: 64, MeanMsgLen: 32, Seed: 1,
+		Generated: 500, GeneratedFlits: 500 * 32,
+		Delivered: 400, DeliveredFlits: 400 * 32, Recovered: 10,
+		SumLatency: 39000, LatencyN: 390,
+		MeanActive: 50, MeanBlocked: 20, MeanQueued: 5, MeanFlits: 100,
+		Deadlocks: 8, SingleCycle: 6, MultiCycle: 2,
+		SumDeadlockSet: 32, SumResourceSet: 96, SumKnotCycles: 16, SumDependent: 24,
+		MaxDeadlockSet: 9, MaxResourceSet: 30, MaxKnotCycles: 7,
+		CensusSamples: 20, SumCycles: 400, MaxCycles: 90,
+	}
+}
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	r := sample()
+	approx(t, "NormalizedDeadlocks", r.NormalizedDeadlocks(), 8.0/400)
+	approx(t, "NormalizedCycles", r.NormalizedCycles(), 400.0/400)
+	approx(t, "DeadlocksPerInNetworkMsg", r.DeadlocksPerInNetworkMsg(), 8.0/50)
+	approx(t, "MeanLatency", r.MeanLatency(), 100)
+	approx(t, "Throughput", r.Throughput(), 400.0*32/1000/64)
+	approx(t, "OfferedRate", r.OfferedRate(), 500.0*32/1000/64)
+	approx(t, "MeanDeadlockSet", r.MeanDeadlockSet(), 4)
+	approx(t, "MeanResourceSet", r.MeanResourceSet(), 12)
+	approx(t, "MeanKnotCycles", r.MeanKnotCycles(), 2)
+	approx(t, "MeanDependent", r.MeanDependent(), 3)
+	approx(t, "MeanCensusCycles", r.MeanCensusCycles(), 20)
+	approx(t, "BlockedFraction", r.BlockedFraction(), 0.4)
+}
+
+func TestDerivedMetricsZeroSafe(t *testing.T) {
+	var r Result
+	for name, f := range map[string]func() float64{
+		"NormalizedDeadlocks":      r.NormalizedDeadlocks,
+		"NormalizedCycles":         r.NormalizedCycles,
+		"DeadlocksPerInNetworkMsg": r.DeadlocksPerInNetworkMsg,
+		"MeanLatency":              r.MeanLatency,
+		"Throughput":               r.Throughput,
+		"OfferedRate":              r.OfferedRate,
+		"MeanDeadlockSet":          r.MeanDeadlockSet,
+		"MeanCensusCycles":         r.MeanCensusCycles,
+		"BlockedFraction":          r.BlockedFraction,
+	} {
+		if got := f(); got != 0 {
+			t.Errorf("%s on zero Result = %v, want 0", name, got)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	s := sample().String()
+	for _, want := range []string{"DOR1", "load=0.600", "8 dl"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tbl := NewTable("demo", "a", "long_header", "c")
+	tbl.AddRow(1, 2.5, "x")
+	tbl.AddRow("wide-cell-value", 0.125, true)
+	tbl.AddNote("note %d", 7)
+	var b strings.Builder
+	if err := tbl.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"== demo ==", "long_header", "wide-cell-value", "# note 7", "0.125"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header + separator + 2 rows + note = 5 lines after the title.
+	if len(lines) != 6 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("demo", "a", "b")
+	tbl.AddRow("plain", `has "quotes", commas`)
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("CSV header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"has ""quotes"", commas"`) {
+		t.Errorf("CSV quoting wrong: %q", out)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tbl := NewTable("t", "v")
+	tbl.AddRow(0.000123456789)
+	if tbl.Rows[0][0] != "0.00012346" {
+		t.Errorf("float cell = %q", tbl.Rows[0][0])
+	}
+	tbl.AddRow(float32(2))
+	if tbl.Rows[1][0] != "2" {
+		t.Errorf("float32 cell = %q", tbl.Rows[1][0])
+	}
+}

@@ -1,0 +1,35 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"flexsim/internal/topology"
+)
+
+// Example shows basic torus arithmetic on the paper's default network.
+func Example() {
+	t := topology.MustNew(16, 2, true)
+	fmt.Println(t)
+	fmt.Println("nodes:", t.Nodes(), "channels:", t.NumChannels())
+	src := t.Node([]int{1, 2})
+	dst := t.Node([]int{15, 2})
+	// The minimal route wraps: -2 hops beats +14.
+	fmt.Println("offset:", t.Offset(src, dst, 0), "distance:", t.Distance(src, dst))
+	// Output:
+	// 16-ary 2-cube (bidirectional)
+	// nodes: 256 channels: 1024
+	// offset: -2 distance: 2
+}
+
+// ExampleNewMesh contrasts a mesh with the torus: no wraparound shortcuts
+// and fewer links.
+func ExampleNewMesh() {
+	m := topology.MustNewMesh(16, 2)
+	fmt.Println(m)
+	src := m.Node([]int{1, 2})
+	dst := m.Node([]int{15, 2})
+	fmt.Println("offset:", m.Offset(src, dst, 0), "links:", m.LinkCount())
+	// Output:
+	// 16-ary 2-mesh
+	// offset: 14 links: 960
+}

@@ -1,0 +1,58 @@
+package topology
+
+// Network abstracts the topologies the simulator can drive: regular k-ary
+// n-cubes/meshes (Torus) and irregular switch graphs (Irregular, the
+// paper's future-work item). Channels live in a dense id space
+// [0, NumChannels()); ids that do not correspond to real links report
+// ChannelExists false and are never routed over.
+type Network interface {
+	// Nodes returns the number of nodes (routers).
+	Nodes() int
+	// NumChannels returns the size of the dense channel id space.
+	NumChannels() int
+	// LinkCount returns the number of real links (<= NumChannels()).
+	LinkCount() int
+	// ChannelSrc returns the node the channel leaves.
+	ChannelSrc(c ChannelID) int
+	// ChannelDst returns the node the channel enters.
+	ChannelDst(c ChannelID) int
+	// ChannelExists reports whether the id denotes a real link.
+	ChannelExists(c ChannelID) bool
+	// OutChannels appends the real channels leaving node to buf and
+	// returns it.
+	OutChannels(node int, buf []ChannelID) []ChannelID
+	// ChannelDim returns the dimension a channel travels along, or 0
+	// where dimensions are not meaningful (irregular networks).
+	ChannelDim(c ChannelID) int
+	// ChannelString renders the channel for logs and DOT output.
+	ChannelString(c ChannelID) string
+	// RouteFlags returns bits ORed into a message's routing state
+	// (message.Crossed) when its header traverses the channel: dateline
+	// crossings on tori (bit = dimension), the up->down transition on
+	// irregular networks (see Irregular).
+	RouteFlags(c ChannelID) uint32
+	// Distance returns the minimal hop count from src to dst.
+	Distance(src, dst int) int
+	// AvgDistance returns the mean distance over ordered distinct pairs.
+	AvgDistance() float64
+	// CapacityPerNode returns network capacity in flits/cycle/node
+	// (total link bandwidth over nodes x average distance).
+	CapacityPerNode() float64
+	// String describes the topology.
+	String() string
+}
+
+// RouteFlags implements Network for Torus: dateline crossings set the bit of
+// the crossed dimension, driving escape-VC class selection.
+func (t *Torus) RouteFlags(c ChannelID) uint32 {
+	if t.CrossesDateline(c) {
+		return 1 << uint(t.ChannelDim(c))
+	}
+	return 0
+}
+
+// Compile-time interface checks.
+var (
+	_ Network = (*Torus)(nil)
+	_ Network = (*Irregular)(nil)
+)

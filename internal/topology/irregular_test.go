@@ -1,0 +1,213 @@
+package topology
+
+import (
+	"testing"
+)
+
+func irr(t *testing.T, n, extra int, seed uint64) *Irregular {
+	t.Helper()
+	g, err := NewIrregular(n, extra, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestIrregularValidation(t *testing.T) {
+	if _, err := NewIrregular(1, 0, 1); err == nil {
+		t.Error("1-node network accepted")
+	}
+	if _, err := NewIrregular(8, -1, 1); err == nil {
+		t.Error("negative extra links accepted")
+	}
+	if _, err := NewIrregular(1<<13, 0, 1); err == nil {
+		t.Error("oversized network accepted")
+	}
+}
+
+func TestIrregularDeterministicPerSeed(t *testing.T) {
+	a, b := irr(t, 24, 10, 7), irr(t, 24, 10, 7)
+	if a.NumChannels() != b.NumChannels() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for c := ChannelID(0); int(c) < a.NumChannels(); c++ {
+		if a.ChannelSrc(c) != b.ChannelSrc(c) || a.ChannelDst(c) != b.ChannelDst(c) {
+			t.Fatal("same seed produced different channels")
+		}
+	}
+	other := irr(t, 24, 10, 8)
+	same := other.NumChannels() == a.NumChannels()
+	if same {
+		diff := false
+		for c := ChannelID(0); int(c) < a.NumChannels(); c++ {
+			if a.ChannelDst(c) != other.ChannelDst(c) {
+				diff = true
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestIrregularConnectivityAndChannels(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		g := irr(t, 20, 8, seed)
+		// Channels come in reverse pairs (c, c^1).
+		for c := ChannelID(0); int(c) < g.NumChannels(); c++ {
+			rc := c ^ 1
+			if g.ChannelSrc(c) != g.ChannelDst(rc) || g.ChannelDst(c) != g.ChannelSrc(rc) {
+				t.Fatalf("seed %d: channel %d and %d are not a reverse pair", seed, c, rc)
+			}
+			if g.ChannelSrc(c) == g.ChannelDst(c) {
+				t.Fatalf("seed %d: self-loop channel %d", seed, c)
+			}
+			if !g.ChannelExists(c) {
+				t.Fatalf("seed %d: in-range channel reported nonexistent", seed)
+			}
+		}
+		if g.ChannelExists(ChannelID(g.NumChannels())) {
+			t.Error("out-of-range channel exists")
+		}
+		// Spanning tree + extras: exactly (n-1+extra) links.
+		if g.LinkCount() != 2*(19+8) {
+			t.Fatalf("seed %d: %d channels, want %d", seed, g.LinkCount(), 2*27)
+		}
+		// Connected: every distance finite and symmetric.
+		for s := 0; s < g.Nodes(); s++ {
+			for d := 0; d < g.Nodes(); d++ {
+				if g.Distance(s, d) < 0 {
+					t.Fatalf("seed %d: unreachable pair %d,%d", seed, s, d)
+				}
+				if g.Distance(s, d) != g.Distance(d, s) {
+					t.Fatalf("seed %d: asymmetric distance", seed)
+				}
+			}
+		}
+	}
+}
+
+func TestIrregularOutChannels(t *testing.T) {
+	g := irr(t, 16, 6, 9)
+	total := 0
+	for v := 0; v < g.Nodes(); v++ {
+		for _, c := range g.OutChannels(v, nil) {
+			if g.ChannelSrc(c) != v {
+				t.Fatalf("out channel %d does not leave %d", c, v)
+			}
+			total++
+		}
+	}
+	if total != g.NumChannels() {
+		t.Fatalf("out lists cover %d channels, want %d", total, g.NumChannels())
+	}
+}
+
+// TestIrregularUpOrientationAcyclic: following only up channels must strictly
+// decrease (level, id) lexicographically, so the up relation is acyclic —
+// the root of up*/down* deadlock freedom.
+func TestIrregularUpOrientationAcyclic(t *testing.T) {
+	g := irr(t, 30, 15, 4)
+	for c := ChannelID(0); int(c) < g.NumChannels(); c++ {
+		a, b := g.ChannelSrc(c), g.ChannelDst(c)
+		la, lb := g.Level(a), g.Level(b)
+		upward := lb < la || (lb == la && b < a)
+		if g.Up(c) != upward {
+			t.Fatalf("channel %s orientation disagrees with levels (%d vs %d)",
+				g.ChannelString(c), la, lb)
+		}
+		// Exactly one of the pair is up.
+		if g.Up(c) == g.Up(c^1) {
+			t.Fatalf("channel pair %d/%d both %v", c, c^1, g.Up(c))
+		}
+	}
+	if g.Level(0) != 0 {
+		t.Error("root level nonzero")
+	}
+}
+
+// TestUpDownDistanceConsistency validates the legal-route table: the
+// distance is finite from the fresh phase, at least the minimal distance,
+// and one legal step always exists that decreases it.
+func TestUpDownDistanceConsistency(t *testing.T) {
+	g := irr(t, 24, 10, 11)
+	for s := 0; s < g.Nodes(); s++ {
+		for d := 0; d < g.Nodes(); d++ {
+			ud := g.UpDownDistance(s, d, false)
+			if ud < 0 {
+				t.Fatalf("no legal up*/down* route %d -> %d", s, d)
+			}
+			if ud < g.Distance(s, d) {
+				t.Fatalf("up*/down* distance %d below minimal %d", ud, g.Distance(s, d))
+			}
+			if s == d {
+				if ud != 0 {
+					t.Fatalf("nonzero self distance")
+				}
+				continue
+			}
+			// Some out channel must decrease the legal distance.
+			found := false
+			for _, c := range g.Out(s) {
+				next := g.UpDownDistance(g.ChannelDst(c), d, !g.Up(c))
+				if next >= 0 && next == ud-1 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("no progress step from %d toward %d (ud=%d)", s, d, ud)
+			}
+		}
+	}
+}
+
+// TestUpDownDownPhaseRestriction: from the down phase, only down channels
+// may be used; destinations only reachable by climbing are unreachable.
+func TestUpDownDownPhaseRestriction(t *testing.T) {
+	g := irr(t, 24, 10, 13)
+	sawUnreachable := false
+	for s := 0; s < g.Nodes(); s++ {
+		for d := 0; d < g.Nodes(); d++ {
+			down := g.UpDownDistance(s, d, true)
+			free := g.UpDownDistance(s, d, false)
+			if down >= 0 && down < free {
+				t.Fatalf("down-phase distance %d below free-phase %d", down, free)
+			}
+			if down < 0 {
+				sawUnreachable = true
+			}
+		}
+	}
+	if !sawUnreachable {
+		t.Error("expected some (src,dst) pairs to be down-phase unreachable")
+	}
+}
+
+func TestIrregularMetrics(t *testing.T) {
+	g := irr(t, 16, 6, 5)
+	if g.AvgDistance() <= 0 {
+		t.Error("nonpositive average distance")
+	}
+	if g.CapacityPerNode() <= 0 {
+		t.Error("nonpositive capacity")
+	}
+	if g.ChannelDim(0) != 0 {
+		t.Error("irregular ChannelDim should be 0")
+	}
+	if g.String() == "" {
+		t.Error("empty String")
+	}
+	up, down := 0, 0
+	for c := ChannelID(0); int(c) < g.NumChannels(); c++ {
+		if g.RouteFlags(c) == 0 {
+			up++
+		} else {
+			down++
+		}
+	}
+	if up != down {
+		t.Errorf("route flags: %d up vs %d down, want equal", up, down)
+	}
+}

@@ -1,0 +1,149 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewMeshValidation(t *testing.T) {
+	if _, err := NewMesh(1, 2); err == nil {
+		t.Error("k=1 mesh accepted")
+	}
+	if _, err := build(4, 2, false, false); err == nil {
+		t.Error("unidirectional mesh accepted")
+	}
+}
+
+func TestMeshBasics(t *testing.T) {
+	m := MustNewMesh(4, 2)
+	if m.Wrap() {
+		t.Fatal("mesh reports wraparound")
+	}
+	if !m.Bidirectional() {
+		t.Fatal("mesh not bidirectional")
+	}
+	if m.String() != "4-ary 2-mesh" {
+		t.Errorf("String() = %q", m.String())
+	}
+	torus := MustNew(4, 2, true)
+	if !torus.Wrap() {
+		t.Fatal("torus reports no wraparound")
+	}
+}
+
+func TestMeshChannelExistence(t *testing.T) {
+	m := MustNewMesh(4, 2)
+	count := 0
+	for c := ChannelID(0); int(c) < m.NumChannels(); c++ {
+		if m.ChannelExists(c) {
+			count++
+			// Real channels have consistent endpoints.
+			if m.ChannelDst(c) == m.ChannelSrc(c) {
+				t.Fatalf("degenerate channel %d", c)
+			}
+		}
+	}
+	if count != m.LinkCount() {
+		t.Fatalf("existing channels %d != LinkCount %d", count, m.LinkCount())
+	}
+	// 4x4 mesh: 2 dims x 2 dirs x 3 links x 4 rows = 48.
+	if m.LinkCount() != 48 {
+		t.Fatalf("LinkCount = %d, want 48", m.LinkCount())
+	}
+	// The torus has the full id space as links.
+	torus := MustNew(4, 2, true)
+	if torus.LinkCount() != torus.NumChannels() {
+		t.Fatal("torus LinkCount != NumChannels")
+	}
+	// Edge channels off the mesh do not exist.
+	edge := m.Node([]int{3, 1})
+	if m.ChannelExists(m.Channel(edge, 0, Plus)) {
+		t.Error("Plus channel off the east edge exists")
+	}
+	origin := m.Node([]int{0, 2})
+	if m.ChannelExists(m.Channel(origin, 0, Minus)) {
+		t.Error("Minus channel off the west edge exists")
+	}
+}
+
+func TestMeshNeighborPanicsOffEdge(t *testing.T) {
+	m := MustNewMesh(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Neighbor off mesh edge did not panic")
+		}
+	}()
+	m.Neighbor(m.Node([]int{3, 0}), 0, Plus)
+}
+
+func TestMeshOffsetsSigned(t *testing.T) {
+	m := MustNewMesh(8, 2)
+	a := m.Node([]int{1, 6})
+	b := m.Node([]int{6, 2})
+	if off := m.Offset(a, b, 0); off != 5 {
+		t.Errorf("offset dim0 = %d, want 5 (no wrap shortcut)", off)
+	}
+	if off := m.Offset(a, b, 1); off != -4 {
+		t.Errorf("offset dim1 = %d, want -4", off)
+	}
+	// The torus would wrap: 1 -> 6 is -3 via wraparound.
+	torus := MustNew(8, 2, true)
+	if off := torus.Offset(a, b, 0); off != -3 {
+		t.Errorf("torus offset = %d, want -3", off)
+	}
+}
+
+func TestMeshDistanceBruteForce(t *testing.T) {
+	m := MustNewMesh(5, 2)
+	for s := 0; s < m.Nodes(); s++ {
+		for d := 0; d < m.Nodes(); d++ {
+			want := abs(m.CoordOf(s, 0)-m.CoordOf(d, 0)) + abs(m.CoordOf(s, 1)-m.CoordOf(d, 1))
+			if got := m.Distance(s, d); got != want {
+				t.Fatalf("Distance(%d,%d) = %d, want %d", s, d, got, want)
+			}
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestMeshAvgDistanceBruteForce(t *testing.T) {
+	for _, m := range []*Torus{MustNewMesh(4, 2), MustNewMesh(5, 2), MustNewMesh(3, 3)} {
+		sum, pairs := 0, 0
+		for s := 0; s < m.Nodes(); s++ {
+			for d := 0; d < m.Nodes(); d++ {
+				if s != d {
+					sum += m.Distance(s, d)
+					pairs++
+				}
+			}
+		}
+		want := float64(sum) / float64(pairs)
+		if got := m.AvgDistance(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: AvgDistance = %v, brute force %v", m, got, want)
+		}
+	}
+}
+
+func TestMeshNoDatelines(t *testing.T) {
+	m := MustNewMesh(4, 2)
+	for c := ChannelID(0); int(c) < m.NumChannels(); c++ {
+		if m.ChannelExists(c) && m.CrossesDateline(c) {
+			t.Fatalf("mesh channel %d crosses a dateline", c)
+		}
+	}
+}
+
+func TestMeshCapacityBelowTorus(t *testing.T) {
+	mesh := MustNewMesh(8, 2)
+	torus := MustNew(8, 2, true)
+	if mesh.CapacityPerNode() >= torus.CapacityPerNode() {
+		t.Errorf("mesh capacity %v not below torus %v",
+			mesh.CapacityPerNode(), torus.CapacityPerNode())
+	}
+}

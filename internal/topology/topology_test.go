@@ -1,0 +1,317 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func tori(t *testing.T) []*Torus {
+	t.Helper()
+	return []*Torus{
+		MustNew(2, 1, true),
+		MustNew(4, 2, true),
+		MustNew(4, 2, false),
+		MustNew(8, 2, true),
+		MustNew(16, 2, true),
+		MustNew(16, 2, false),
+		MustNew(4, 4, true),
+		MustNew(3, 3, true),
+		MustNew(5, 2, false),
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 2, true); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := New(4, 0, true); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New(2, 40, true); err == nil {
+		t.Error("oversized torus accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(1,1) did not panic")
+		}
+	}()
+	MustNew(1, 1, true)
+}
+
+func TestNodesCount(t *testing.T) {
+	for _, tt := range []struct{ k, n, want int }{
+		{16, 2, 256}, {4, 4, 256}, {8, 3, 512}, {3, 2, 9},
+	} {
+		if got := MustNew(tt.k, tt.n, true).Nodes(); got != tt.want {
+			t.Errorf("%d-ary %d-cube: Nodes() = %d, want %d", tt.k, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	for _, topo := range tori(t) {
+		buf := make([]int, topo.N())
+		for node := 0; node < topo.Nodes(); node++ {
+			c := topo.Coord(node, buf)
+			if got := topo.Node(c); got != node {
+				t.Fatalf("%s: Node(Coord(%d)) = %d", topo, node, got)
+			}
+			for d := 0; d < topo.N(); d++ {
+				if c[d] != topo.CoordOf(node, d) {
+					t.Fatalf("%s: CoordOf(%d,%d)=%d disagrees with Coord %v",
+						topo, node, d, topo.CoordOf(node, d), c)
+				}
+			}
+		}
+	}
+}
+
+func TestNodeNormalizesCoords(t *testing.T) {
+	topo := MustNew(4, 2, true)
+	if got, want := topo.Node([]int{-1, 5}), topo.Node([]int{3, 1}); got != want {
+		t.Errorf("Node normalization: got %d want %d", got, want)
+	}
+}
+
+func TestNeighborInverse(t *testing.T) {
+	topo := MustNew(8, 2, true)
+	for node := 0; node < topo.Nodes(); node++ {
+		for dim := 0; dim < topo.N(); dim++ {
+			fwd := topo.Neighbor(node, dim, Plus)
+			if back := topo.Neighbor(fwd, dim, Minus); back != node {
+				t.Fatalf("neighbor inverse failed at node %d dim %d: %d", node, dim, back)
+			}
+		}
+	}
+}
+
+func TestNeighborWraps(t *testing.T) {
+	topo := MustNew(4, 2, true)
+	edge := topo.Node([]int{3, 0})
+	if got, want := topo.Neighbor(edge, 0, Plus), topo.Node([]int{0, 0}); got != want {
+		t.Errorf("wraparound Plus: got %d want %d", got, want)
+	}
+	origin := topo.Node([]int{0, 2})
+	if got, want := topo.Neighbor(origin, 0, Minus), topo.Node([]int{3, 2}); got != want {
+		t.Errorf("wraparound Minus: got %d want %d", got, want)
+	}
+}
+
+func TestChannelRoundTrip(t *testing.T) {
+	for _, topo := range tori(t) {
+		seen := make(map[ChannelID]bool)
+		for node := 0; node < topo.Nodes(); node++ {
+			for dim := 0; dim < topo.N(); dim++ {
+				for d := 0; d < topo.Dirs(); d++ {
+					dir := Direction(d)
+					ch := topo.Channel(node, dim, dir)
+					if ch < 0 || int(ch) >= topo.NumChannels() {
+						t.Fatalf("%s: channel id %d out of range", topo, ch)
+					}
+					if seen[ch] {
+						t.Fatalf("%s: duplicate channel id %d", topo, ch)
+					}
+					seen[ch] = true
+					if topo.ChannelSrc(ch) != node || topo.ChannelDim(ch) != dim || topo.ChannelDir(ch) != dir {
+						t.Fatalf("%s: channel %d decode mismatch", topo, ch)
+					}
+					if got, want := topo.ChannelDst(ch), topo.Neighbor(node, dim, dir); got != want {
+						t.Fatalf("%s: ChannelDst(%d)=%d want %d", topo, ch, got, want)
+					}
+				}
+			}
+		}
+		if len(seen) != topo.NumChannels() {
+			t.Fatalf("%s: enumerated %d channels, NumChannels=%d", topo, len(seen), topo.NumChannels())
+		}
+	}
+}
+
+func TestUniChannelPanics(t *testing.T) {
+	topo := MustNew(4, 2, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Minus channel in uni torus did not panic")
+		}
+	}()
+	topo.Channel(0, 0, Minus)
+}
+
+func TestDatelinePerRing(t *testing.T) {
+	// Every ring (fixed dim+dir, varying position) must contain exactly
+	// one dateline channel.
+	for _, topo := range tori(t) {
+		for dim := 0; dim < topo.N(); dim++ {
+			for d := 0; d < topo.Dirs(); d++ {
+				count := 0
+				node := 0
+				// walk a full ring from node 0
+				cur := node
+				for i := 0; i < topo.K(); i++ {
+					ch := topo.Channel(cur, dim, Direction(d))
+					if topo.CrossesDateline(ch) {
+						count++
+					}
+					cur = topo.ChannelDst(ch)
+				}
+				if cur != node {
+					t.Fatalf("%s: ring walk did not return to start", topo)
+				}
+				if count != 1 {
+					t.Fatalf("%s: ring dim=%d dir=%d has %d dateline crossings, want 1",
+						topo, dim, d, count)
+				}
+			}
+		}
+	}
+}
+
+func TestOffsetProperties(t *testing.T) {
+	for _, topo := range tori(t) {
+		k := topo.K()
+		for src := 0; src < topo.Nodes(); src++ {
+			for dim := 0; dim < topo.N(); dim++ {
+				for dst := 0; dst < topo.Nodes(); dst++ {
+					off := topo.Offset(src, dst, dim)
+					if !topo.Bidirectional() && off < 0 {
+						t.Fatalf("%s: negative offset in uni torus", topo)
+					}
+					mag := off
+					if mag < 0 {
+						mag = -mag
+					}
+					if topo.Bidirectional() && mag > k/2 {
+						t.Fatalf("%s: offset %d exceeds k/2=%d", topo, off, k/2)
+					}
+					// Walking |off| hops in the offset's direction
+					// must align the dimension.
+					cur := src
+					dir := Plus
+					if off < 0 {
+						dir = Minus
+					}
+					for i := 0; i < mag; i++ {
+						cur = topo.Neighbor(cur, dim, dir)
+					}
+					if topo.CoordOf(cur, dim) != topo.CoordOf(dst, dim) {
+						t.Fatalf("%s: offset walk src=%d dst=%d dim=%d off=%d landed at coord %d",
+							topo, src, dst, dim, off, topo.CoordOf(cur, dim))
+					}
+				}
+			}
+			if testing.Short() {
+				break
+			}
+		}
+	}
+}
+
+func TestOffsetTieBreaksPlus(t *testing.T) {
+	topo := MustNew(4, 1, true)
+	// distance 2 = k/2 exactly: must resolve Plus.
+	if off := topo.Offset(0, 2, 0); off != 2 {
+		t.Errorf("tie offset = %d, want +2", off)
+	}
+}
+
+func TestDistanceSymmetricBi(t *testing.T) {
+	topo := MustNew(8, 2, true)
+	f := func(a, b uint8) bool {
+		s, d := int(a)%topo.Nodes(), int(b)%topo.Nodes()
+		return topo.Distance(s, d) == topo.Distance(d, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceZeroAndPositive(t *testing.T) {
+	for _, topo := range tori(t) {
+		for node := 0; node < topo.Nodes(); node++ {
+			if topo.Distance(node, node) != 0 {
+				t.Fatalf("%s: Distance(%d,%d) != 0", topo, node, node)
+			}
+		}
+		if topo.Nodes() > 1 && topo.Distance(0, 1) <= 0 {
+			t.Fatalf("%s: Distance(0,1) not positive", topo)
+		}
+	}
+}
+
+func TestDistanceTriangle(t *testing.T) {
+	topo := MustNew(5, 2, true)
+	n := topo.Nodes()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			for c := 0; c < n; c++ {
+				if topo.Distance(a, c) > topo.Distance(a, b)+topo.Distance(b, c) {
+					t.Fatalf("triangle inequality violated at %d,%d,%d", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestAvgDistanceBruteForce(t *testing.T) {
+	for _, topo := range tori(t) {
+		if topo.Nodes() > 300 {
+			continue
+		}
+		sum, pairs := 0, 0
+		for s := 0; s < topo.Nodes(); s++ {
+			for d := 0; d < topo.Nodes(); d++ {
+				if s == d {
+					continue
+				}
+				sum += topo.Distance(s, d)
+				pairs++
+			}
+		}
+		want := float64(sum) / float64(pairs)
+		if got := topo.AvgDistance(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: AvgDistance = %v, brute force = %v", topo, got, want)
+		}
+	}
+}
+
+func TestKnownAvgDistances(t *testing.T) {
+	// Unidirectional k-ary 1-cube: mean over deltas 1..k-1 = k/2.
+	uni := MustNew(16, 1, false)
+	if got := uni.AvgDistance(); math.Abs(got-8) > 1e-9 {
+		t.Errorf("uni 16-ring avg distance = %v, want 8", got)
+	}
+}
+
+func TestCapacityPerNode(t *testing.T) {
+	// Bidirectional 16-ary 2-cube: 4 channels/node, avg distance ~8.03;
+	// capacity = 4/avg.
+	topo := MustNew(16, 2, true)
+	want := 4.0 / topo.AvgDistance()
+	if got := topo.CapacityPerNode(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("capacity = %v, want %v", got, want)
+	}
+	// The uni-torus has half the channels and roughly double the average
+	// distance, so roughly a quarter of the capacity.
+	uni := MustNew(16, 2, false)
+	if ratio := topo.CapacityPerNode() / uni.CapacityPerNode(); ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("bi/uni capacity ratio = %v, want ~4", ratio)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	topo := MustNew(16, 2, true)
+	if got := topo.String(); got != "16-ary 2-cube (bidirectional)" {
+		t.Errorf("String() = %q", got)
+	}
+	if Plus.String() != "+" || Minus.String() != "-" {
+		t.Error("Direction.String wrong")
+	}
+	ch := topo.Channel(0, 0, Plus)
+	if s := topo.ChannelString(ch); s == "" {
+		t.Error("empty ChannelString")
+	}
+}

@@ -1,0 +1,70 @@
+package traffic
+
+// Message length distributions. The paper uses fixed 32-flit messages and
+// names "hybrid message length" as future work; Bimodal implements the
+// conventional hybrid workload (a mix of short control packets and long
+// data packets, as in shared-memory protocol traffic).
+
+import (
+	"fmt"
+
+	"flexsim/internal/rng"
+)
+
+// LengthDist samples message lengths in flits.
+type LengthDist interface {
+	Name() string
+	// Sample draws one message length (>= 1).
+	Sample(r *rng.Source) int
+	// Mean returns the expected length, used to normalize offered load.
+	Mean() float64
+}
+
+// Fixed is a constant message length.
+type Fixed int
+
+// Name implements LengthDist.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed(%d)", int(f)) }
+
+// Sample implements LengthDist.
+func (f Fixed) Sample(*rng.Source) int { return int(f) }
+
+// Mean implements LengthDist.
+func (f Fixed) Mean() float64 { return float64(f) }
+
+// Bimodal mixes short and long messages: a message is Short flits with
+// probability ShortFrac, otherwise Long flits.
+type Bimodal struct {
+	Short     int
+	Long      int
+	ShortFrac float64
+}
+
+// Name implements LengthDist.
+func (b Bimodal) Name() string {
+	return fmt.Sprintf("bimodal(%d/%d,%.0f%%)", b.Short, b.Long, 100*b.ShortFrac)
+}
+
+// Sample implements LengthDist.
+func (b Bimodal) Sample(r *rng.Source) int {
+	if r.Bernoulli(b.ShortFrac) {
+		return b.Short
+	}
+	return b.Long
+}
+
+// Mean implements LengthDist.
+func (b Bimodal) Mean() float64 {
+	return b.ShortFrac*float64(b.Short) + (1-b.ShortFrac)*float64(b.Long)
+}
+
+// Validate checks a Bimodal for sanity.
+func (b Bimodal) Validate() error {
+	if b.Short < 1 || b.Long < 1 {
+		return fmt.Errorf("traffic: bimodal lengths must be >= 1 flit, got %d/%d", b.Short, b.Long)
+	}
+	if b.ShortFrac < 0 || b.ShortFrac > 1 {
+		return fmt.Errorf("traffic: bimodal short fraction %g outside [0,1]", b.ShortFrac)
+	}
+	return nil
+}

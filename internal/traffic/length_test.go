@@ -1,0 +1,85 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"flexsim/internal/rng"
+	"flexsim/internal/topology"
+)
+
+func TestFixedDist(t *testing.T) {
+	f := Fixed(32)
+	if f.Mean() != 32 || f.Sample(nil) != 32 {
+		t.Fatalf("Fixed(32): mean %v sample %d", f.Mean(), f.Sample(nil))
+	}
+	if f.Name() != "fixed(32)" {
+		t.Errorf("Name = %q", f.Name())
+	}
+}
+
+func TestBimodalMeanAndSampling(t *testing.T) {
+	b := Bimodal{Short: 4, Long: 32, ShortFrac: 0.75}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.75*4 + 0.25*32; b.Mean() != want {
+		t.Fatalf("Mean = %v, want %v", b.Mean(), want)
+	}
+	r := rng.New(2)
+	shorts, sum := 0, 0
+	const n = 40000
+	for i := 0; i < n; i++ {
+		l := b.Sample(r)
+		if l != 4 && l != 32 {
+			t.Fatalf("sample %d not in {4,32}", l)
+		}
+		if l == 4 {
+			shorts++
+		}
+		sum += l
+	}
+	if frac := float64(shorts) / n; math.Abs(frac-0.75) > 0.01 {
+		t.Errorf("short fraction %.4f", frac)
+	}
+	if mean := float64(sum) / n; math.Abs(mean-b.Mean()) > 0.1 {
+		t.Errorf("empirical mean %.3f vs %.3f", mean, b.Mean())
+	}
+	if b.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestBimodalValidate(t *testing.T) {
+	bad := []Bimodal{
+		{Short: 0, Long: 32, ShortFrac: 0.5},
+		{Short: 4, Long: 0, ShortFrac: 0.5},
+		{Short: 4, Long: 32, ShortFrac: -0.1},
+		{Short: 4, Long: 32, ShortFrac: 1.5},
+	}
+	for i, b := range bad {
+		if b.Validate() == nil {
+			t.Errorf("case %d accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestProcessNormalizesByMeanLength(t *testing.T) {
+	topo := topology.MustNew(8, 2, true)
+	b := Bimodal{Short: 4, Long: 32, ShortFrac: 0.5}
+	p := NewProcess(topo, NewUniform(topo), 0.5, b, rng.New(9))
+	want := 0.5 * topo.CapacityPerNode() / b.Mean()
+	if math.Abs(p.MessageProb()-want) > 1e-12 {
+		t.Fatalf("prob %v, want %v", p.MessageProb(), want)
+	}
+	// Offered flit rate over many cycles approximates load x capacity.
+	cycles := 4000
+	for i := 0; i < cycles; i++ {
+		p.Generate(func(src, dst, length int) {})
+	}
+	rate := float64(p.GeneratedFlits) / float64(cycles) / float64(topo.Nodes())
+	wantRate := 0.5 * topo.CapacityPerNode()
+	if math.Abs(rate-wantRate) > 0.1*wantRate {
+		t.Errorf("offered flit rate %.4f, want ~%.4f", rate, wantRate)
+	}
+}

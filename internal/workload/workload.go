@@ -1,0 +1,269 @@
+// Package workload implements program-driven traffic (the paper's
+// future-work item: "characterize deadlock formation under hybrid
+// non-uniform traffic loads using program-driven simulations"): instead of
+// an open-loop Bernoulli process, message generation follows the causal
+// structure of parallel kernels — a node sends its next phase's messages
+// only after the previous phase's arrivals land and a compute delay passes.
+//
+// Two classic kernels are provided: a nearest-neighbor stencil exchange and
+// a binomial-tree all-reduce (reduce to the root, broadcast back). Both are
+// closed-loop: congestion and deadlock recovery feed back into when traffic
+// is offered, producing the bursty, correlated loads that open-loop traffic
+// cannot.
+package workload
+
+import (
+	"fmt"
+
+	"flexsim/internal/message"
+	"flexsim/internal/topology"
+)
+
+// Driver generates program-driven traffic. The simulation engine calls Tick
+// once per cycle and Delivered for every message arrival (including victims
+// absorbed by recovery, which the program counts as delivered — Disha
+// semantics).
+type Driver interface {
+	Name() string
+	// Tick offers this cycle's sends via inject.
+	Tick(now int64, inject func(src, dst, length int) *message.Message)
+	// Delivered notifies the driver that a message has arrived.
+	Delivered(m *message.Message)
+	// Done reports whether the program has completed all its phases.
+	Done() bool
+	// Phases returns (completed, total) program phases for progress
+	// reporting.
+	Phases() (int, int)
+}
+
+// nodeState tracks one node's progress through a phase-structured program.
+type nodeState struct {
+	phase   int   // current phase index
+	pending int   // arrivals still needed to finish the phase
+	readyAt int64 // cycle at which the next phase's sends may be offered
+	sent    bool  // this phase's sends have been offered
+}
+
+// Stencil is an iterative nearest-neighbor exchange on a k-ary n-cube or
+// mesh: each phase, every node sends one message to each neighbor and waits
+// for one from each, then computes for ComputeDelay cycles and begins the
+// next phase. Phases run bulk-synchronously per node (no global barrier):
+// a node advances as soon as its own arrivals land.
+type Stencil struct {
+	topo         topology.Network
+	msgLen       int
+	computeDelay int
+	phases       int
+
+	nodes     []nodeState
+	neighbors [][]int
+	completed int
+}
+
+// NewStencil builds a stencil driver running the given number of phases.
+func NewStencil(t topology.Network, phases, msgLen, computeDelay int) (*Stencil, error) {
+	if phases < 1 || msgLen < 1 {
+		return nil, fmt.Errorf("workload: stencil needs phases and msgLen >= 1")
+	}
+	s := &Stencil{topo: t, msgLen: msgLen, computeDelay: computeDelay, phases: phases}
+	s.nodes = make([]nodeState, t.Nodes())
+	s.neighbors = make([][]int, t.Nodes())
+	for v := 0; v < t.Nodes(); v++ {
+		var chans []topology.ChannelID
+		for _, ch := range t.OutChannels(v, chans) {
+			s.neighbors[v] = append(s.neighbors[v], t.ChannelDst(ch))
+		}
+		s.nodes[v].pending = len(s.neighbors[v])
+	}
+	return s, nil
+}
+
+// Name implements Driver.
+func (s *Stencil) Name() string { return fmt.Sprintf("stencil(%d phases)", s.phases) }
+
+// Tick implements Driver.
+func (s *Stencil) Tick(now int64, inject func(src, dst, length int) *message.Message) {
+	for v := range s.nodes {
+		st := &s.nodes[v]
+		if st.sent || st.phase >= s.phases || now < st.readyAt {
+			continue
+		}
+		for _, nb := range s.neighbors[v] {
+			inject(v, nb, s.msgLen)
+		}
+		st.sent = true
+	}
+}
+
+// Delivered implements Driver.
+func (s *Stencil) Delivered(m *message.Message) {
+	st := &s.nodes[m.Dst]
+	st.pending--
+	if st.pending > 0 {
+		return
+	}
+	// Phase complete at this node: compute, then start the next.
+	st.phase++
+	if st.phase >= s.phases {
+		s.completed++
+		return
+	}
+	st.pending = len(s.neighbors[m.Dst])
+	st.readyAt = m.DeliverTime + int64(s.computeDelay)
+	st.sent = false
+}
+
+// Done implements Driver.
+func (s *Stencil) Done() bool { return s.completed == len(s.nodes) }
+
+// Phases implements Driver.
+func (s *Stencil) Phases() (int, int) {
+	done := 0
+	for i := range s.nodes {
+		done += s.nodes[i].phase
+	}
+	return done, s.phases * len(s.nodes)
+}
+
+// AllReduce is an iterative binomial-tree all-reduce over a power-of-two
+// node count: each iteration reduces partial values up the tree to node 0,
+// then broadcasts the result back down. Every message transfer is causal:
+// a parent sends only after hearing from all children.
+type AllReduce struct {
+	nodes        int
+	bits         int
+	msgLen       int
+	computeDelay int
+	rounds       int
+
+	round int
+	// reduce phase: pending child messages per node; broadcast phase:
+	// counts arrivals from parents.
+	pendingReduce []int
+	gotParent     []bool
+	stage         int8 // 0 = reducing, 1 = broadcasting
+	sentReduce    []bool
+	sentBcast     []bool
+	readyAt       int64
+	done          bool
+}
+
+// NewAllReduce builds an all-reduce driver for the given rounds. The node
+// count must be a power of two.
+func NewAllReduce(t topology.Network, rounds, msgLen, computeDelay int) (*AllReduce, error) {
+	n := t.Nodes()
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("workload: all-reduce needs a power-of-two node count, got %d", n)
+	}
+	if rounds < 1 || msgLen < 1 {
+		return nil, fmt.Errorf("workload: all-reduce needs rounds and msgLen >= 1")
+	}
+	a := &AllReduce{nodes: n, msgLen: msgLen, computeDelay: computeDelay, rounds: rounds}
+	for 1<<uint(a.bits) < n {
+		a.bits++
+	}
+	a.reset()
+	return a, nil
+}
+
+// children of node v in the binomial tree rooted at 0: v | 1<<i for i above
+// v's lowest set bit (v=0: all powers of two below n).
+func (a *AllReduce) children(v int) []int {
+	var out []int
+	low := a.bits
+	if v != 0 {
+		low = trailingZeros(v)
+	}
+	for i := 0; i < low; i++ {
+		c := v | 1<<uint(i)
+		if c < a.nodes && c != v {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// parent of node v: clear its lowest set bit.
+func (a *AllReduce) parent(v int) int { return v &^ (1 << uint(trailingZeros(v))) }
+
+func trailingZeros(v int) int {
+	z := 0
+	for v&1 == 0 {
+		v >>= 1
+		z++
+	}
+	return z
+}
+
+func (a *AllReduce) reset() {
+	a.stage = 0
+	a.pendingReduce = make([]int, a.nodes)
+	a.gotParent = make([]bool, a.nodes)
+	a.sentReduce = make([]bool, a.nodes)
+	a.sentBcast = make([]bool, a.nodes)
+	for v := 0; v < a.nodes; v++ {
+		a.pendingReduce[v] = len(a.children(v))
+	}
+}
+
+// Name implements Driver.
+func (a *AllReduce) Name() string { return fmt.Sprintf("allreduce(%d rounds)", a.rounds) }
+
+// Tick implements Driver.
+func (a *AllReduce) Tick(now int64, inject func(src, dst, length int) *message.Message) {
+	if a.done || now < a.readyAt {
+		return
+	}
+	switch a.stage {
+	case 0: // reduce: leaves (and satisfied parents) send up
+		for v := 1; v < a.nodes; v++ {
+			if !a.sentReduce[v] && a.pendingReduce[v] == 0 {
+				inject(v, a.parent(v), a.msgLen)
+				a.sentReduce[v] = true
+			}
+		}
+		if a.pendingReduce[0] == 0 {
+			a.stage = 1
+		}
+	case 1: // broadcast: root (and informed parents) send down
+		for v := 0; v < a.nodes; v++ {
+			if a.sentBcast[v] {
+				continue
+			}
+			if v == 0 || a.gotParent[v] {
+				for _, c := range a.children(v) {
+					inject(v, c, a.msgLen)
+				}
+				a.sentBcast[v] = true
+			}
+		}
+	}
+}
+
+// Delivered implements Driver.
+func (a *AllReduce) Delivered(m *message.Message) {
+	if a.stage == 0 {
+		a.pendingReduce[m.Dst]--
+		return
+	}
+	a.gotParent[m.Dst] = true
+	// Round complete once every non-root node heard the broadcast.
+	for v := 1; v < a.nodes; v++ {
+		if !a.gotParent[v] {
+			return
+		}
+	}
+	a.round++
+	if a.round >= a.rounds {
+		a.done = true
+		return
+	}
+	a.readyAt = m.DeliverTime + int64(a.computeDelay)
+	a.reset()
+}
+
+// Done implements Driver.
+func (a *AllReduce) Done() bool { return a.done }
+
+// Phases implements Driver.
+func (a *AllReduce) Phases() (int, int) { return a.round, a.rounds }

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"testing"
+
+	"flexsim/internal/message"
+	"flexsim/internal/topology"
+)
+
+// run drives a Driver against a perfect network that delivers every message
+// after `latency` cycles, and returns the completion cycle (-1 on timeout).
+func run(t *testing.T, d Driver, latency int64, maxCycles int64) int64 {
+	t.Helper()
+	type pending struct {
+		m  *message.Message
+		at int64
+	}
+	var inflight []pending
+	var id message.ID
+	for now := int64(1); now <= maxCycles; now++ {
+		d.Tick(now, func(src, dst, length int) *message.Message {
+			m := message.New(id, src, dst, length, now)
+			id++
+			inflight = append(inflight, pending{m: m, at: now + latency})
+			return m
+		})
+		rest := inflight[:0]
+		for _, p := range inflight {
+			if p.at == now {
+				p.m.DeliverTime = now
+				d.Delivered(p.m)
+			} else {
+				rest = append(rest, p)
+			}
+		}
+		inflight = rest
+		if d.Done() {
+			return now
+		}
+	}
+	return -1
+}
+
+func TestStencilCompletes(t *testing.T) {
+	topo := topology.MustNew(4, 2, true)
+	s, err := NewStencil(topo, 5, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := run(t, s, 10, 100000)
+	if end < 0 {
+		t.Fatal("stencil never completed")
+	}
+	done, total := s.Phases()
+	if done != total || total != 5*topo.Nodes() {
+		t.Fatalf("phases %d/%d", done, total)
+	}
+	// 5 phases x (>=10 latency + 3 compute) lower bound.
+	if end < 5*10 {
+		t.Errorf("completed implausibly fast: %d cycles", end)
+	}
+}
+
+func TestStencilValidation(t *testing.T) {
+	topo := topology.MustNew(4, 2, true)
+	if _, err := NewStencil(topo, 0, 8, 0); err == nil {
+		t.Error("zero phases accepted")
+	}
+	if _, err := NewStencil(topo, 1, 0, 0); err == nil {
+		t.Error("zero-length messages accepted")
+	}
+}
+
+func TestStencilCausality(t *testing.T) {
+	// With huge latency, no node may start phase 2 before a full phase-1
+	// round trip: total messages after one Tick burst = nodes x degree.
+	topo := topology.MustNew(4, 2, true)
+	s, err := NewStencil(topo, 3, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	s.Tick(1, func(src, dst, length int) *message.Message {
+		count++
+		return message.New(0, src, dst, length, 1)
+	})
+	want := topo.Nodes() * 4 // degree 4 in a bidirectional 2-D torus
+	if count != want {
+		t.Fatalf("first burst %d messages, want %d", count, want)
+	}
+	// No deliveries yet: another tick must send nothing.
+	s.Tick(2, func(src, dst, length int) *message.Message {
+		t.Fatal("sent before any arrival")
+		return nil
+	})
+}
+
+func TestStencilOnMeshAndIrregularDegrees(t *testing.T) {
+	mesh := topology.MustNewMesh(4, 2)
+	s, err := NewStencil(mesh, 2, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run(t, s, 5, 100000) < 0 {
+		t.Fatal("mesh stencil never completed")
+	}
+}
+
+func TestAllReduceCompletes(t *testing.T) {
+	topo := topology.MustNew(4, 2, true) // 16 nodes
+	a, err := NewAllReduce(topo, 4, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := run(t, a, 7, 100000)
+	if end < 0 {
+		t.Fatal("all-reduce never completed")
+	}
+	done, total := a.Phases()
+	if done != total || total != 4 {
+		t.Fatalf("rounds %d/%d", done, total)
+	}
+	// Each round needs >= 2 tree depths of latency.
+	if end < 4*2*7 {
+		t.Errorf("completed implausibly fast: %d cycles", end)
+	}
+}
+
+func TestAllReduceTreeShape(t *testing.T) {
+	topo := topology.MustNew(4, 2, true)
+	a, err := NewAllReduce(topo, 1, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every non-root node has exactly one parent; parent/child relations
+	// are mutual; the root reaches everyone.
+	covered := map[int]bool{0: true}
+	frontier := []int{0}
+	for len(frontier) > 0 {
+		v := frontier[0]
+		frontier = frontier[1:]
+		for _, c := range a.children(v) {
+			if covered[c] {
+				t.Fatalf("node %d has two parents", c)
+			}
+			if a.parent(c) != v {
+				t.Fatalf("parent(%d) = %d, want %d", c, a.parent(c), v)
+			}
+			covered[c] = true
+			frontier = append(frontier, c)
+		}
+	}
+	if len(covered) != topo.Nodes() {
+		t.Fatalf("tree covers %d of %d nodes", len(covered), topo.Nodes())
+	}
+}
+
+func TestAllReduceValidation(t *testing.T) {
+	if _, err := NewAllReduce(topology.MustNew(3, 2, true), 1, 8, 0); err == nil {
+		t.Error("non-power-of-two node count accepted")
+	}
+	topo := topology.MustNew(4, 2, true)
+	if _, err := NewAllReduce(topo, 0, 8, 0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
+
+func TestDriverNames(t *testing.T) {
+	topo := topology.MustNew(4, 2, true)
+	s, _ := NewStencil(topo, 2, 4, 0)
+	a, _ := NewAllReduce(topo, 2, 4, 0)
+	if s.Name() == "" || a.Name() == "" {
+		t.Error("empty driver names")
+	}
+}
