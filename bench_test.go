@@ -218,6 +218,67 @@ func BenchmarkCWGBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkBuild compares the two snapshot-to-graph construction paths on
+// the same saturated snapshot: the legacy allocating cwg.Build against a
+// pooled Builder whose arenas are reused across iterations. The pooled path
+// is the one Detector uses in steady state.
+func BenchmarkBuild(b *testing.B) {
+	r := saturatedRunner(b, "tfar", 1)
+	snap := r.Detector.Snapshot()
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := cwg.Build(snap)
+			if g.NumVertices() == 0 {
+				b.Fatal("empty graph")
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		bld := cwg.NewBuilder(r.Net.TotalVCs())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g := bld.Build(snap)
+			if g.NumVertices() == 0 {
+				b.Fatal("empty graph")
+			}
+		}
+	})
+}
+
+// BenchmarkDetectNow measures a full detection pass (snapshot + pooled build
+// + Tarjan + classification) with the change gate defeated, so every
+// iteration rebuilds and re-analyzes. Steady-state allocations should be
+// zero once the detector's arenas have warmed up.
+func BenchmarkDetectNow(b *testing.B) {
+	r := saturatedRunner(b, "dateline-dor", 2)
+	r.Detector.DetectNow() // warm the arenas
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Detector.Invalidate()
+		r.Detector.DetectNow()
+	}
+}
+
+// BenchmarkDetectNowGated measures the gated fast path: the network has not
+// changed since the last deadlock-free pass, so DetectNow returns the cached
+// analysis. This must report 0 allocs/op.
+func BenchmarkDetectNowGated(b *testing.B) {
+	r := saturatedRunner(b, "dateline-dor", 2)
+	r.Detector.DetectNow() // prime the gate
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Detector.DetectNow()
+	}
+	b.StopTimer()
+	if r.Detector.Stats.Gated == 0 {
+		b.Fatal("gate never engaged; fast path not exercised")
+	}
+}
+
 // BenchmarkVCTvsWormhole quantifies design decision 4: virtual cut-through
 // as an emergent buffer-depth setting rather than a special-cased switch
 // mode (per-run cost of depth 2 vs depth 32).

@@ -3,6 +3,7 @@
 //	charsweep -experiment fig5            # full-fidelity Fig. 5 sweep
 //	charsweep -experiment all -quick      # everything, scaled down
 //	charsweep -experiment fig7 -csv       # CSV output
+//	charsweep -experiment fig5 -quick -cpuprofile cpu.out
 package main
 
 import (
@@ -13,10 +14,15 @@ import (
 	"time"
 
 	"flexsim/internal/experiments"
+	"flexsim/internal/prof"
 	"flexsim/internal/stats"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("experiment", "all",
 		"experiment id ("+strings.Join(experiments.Names(), "|")+"|all)")
 	quick := flag.Bool("quick", false, "scaled-down runs (8-ary 2-cube, short windows)")
@@ -25,7 +31,20 @@ func main() {
 	par := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 0, "seed offset (0 = default)")
 	loads := flag.String("loads", "", "comma-separated load override, e.g. 0.2,0.6,1.0")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charsweep:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "charsweep:", err)
+		}
+	}()
 
 	opts := experiments.Options{Quick: *quick, Parallelism: *par, Seed: *seed}
 	if *loads != "" {
@@ -33,7 +52,7 @@ func main() {
 			var l float64
 			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%g", &l); err != nil {
 				fmt.Fprintf(os.Stderr, "charsweep: bad load %q: %v\n", f, err)
-				os.Exit(1)
+				return 1
 			}
 			opts.Loads = append(opts.Loads, l)
 		}
@@ -47,26 +66,26 @@ func main() {
 		f, err := experiments.ByName(id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "charsweep:", err)
-			os.Exit(1)
+			return 1
 		}
 		start := time.Now()
 		tables, err := f(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "charsweep: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		for _, t := range tables {
 			if *csv {
 				if err := t.WriteCSV(os.Stdout); err != nil {
 					fmt.Fprintln(os.Stderr, "charsweep:", err)
-					os.Exit(1)
+					return 1
 				}
 				fmt.Println()
 				continue
 			}
 			if err := t.WriteText(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, "charsweep:", err)
-				os.Exit(1)
+				return 1
 			}
 			if *plot {
 				if cols := t.NumericColumns(); len(cols) >= 2 {
@@ -79,4 +98,5 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

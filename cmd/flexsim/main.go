@@ -4,6 +4,8 @@
 // Example (the paper's default configuration at 60% load with DOR):
 //
 //	flexsim -k 16 -n 2 -routing dor -vcs 1 -load 0.6
+//
+// Pass -cpuprofile/-memprofile to capture pprof profiles of the run.
 package main
 
 import (
@@ -12,10 +14,15 @@ import (
 	"os"
 
 	"flexsim/internal/core"
+	"flexsim/internal/prof"
 	"flexsim/internal/trace"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	cfg := core.DefaultConfig()
 	flag.IntVar(&cfg.K, "k", cfg.K, "radix (nodes per dimension)")
 	flag.IntVar(&cfg.N, "n", cfg.N, "dimensions")
@@ -42,6 +49,8 @@ func main() {
 	flag.IntVar(&cfg.ComputeDelay, "compute", 0, "compute cycles between workload phases")
 	norecover := flag.Bool("no-recover", false, "detect but do not break deadlocks")
 	check := flag.Bool("check", false, "enable per-cycle invariant checking (slow)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	cfg.Bidirectional = !*uni
@@ -54,10 +63,21 @@ func main() {
 		cfg.Tracer = ring
 	}
 
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexsim:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "flexsim:", err)
+		}
+	}()
+
 	res, err := core.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flexsim:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("network:            %d-ary %d-cube, bidirectional=%v, %d VC(s), buffer=%d flits\n",
@@ -95,4 +115,5 @@ func main() {
 			fmt.Println(" ", ev)
 		}
 	}
+	return 0
 }

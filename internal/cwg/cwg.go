@@ -27,6 +27,12 @@
 //     wait on a VC owned by a deadlock-set message — they cannot proceed
 //     until recovery, but removing them would not resolve the deadlock.
 //
+// Construction comes in two flavors: Build allocates a fresh graph per
+// snapshot (hand-built scenarios, tests), while Builder reuses all backing
+// storage across snapshots and indexes vertices through a dense array keyed
+// by the network's global VC numbering, so the periodic-detection hot path
+// runs without heap allocations (see Builder).
+//
 // The package is pure graph theory: it depends only on the message package
 // for VC/ID types and can be exercised with hand-built scenarios (the
 // paper's Figures 1-4 are reconstructed in the tests and in
@@ -52,14 +58,20 @@ type Msg struct {
 	Wants   []message.VC
 }
 
-// Graph is a built channel wait-for graph. Construct with Build.
+// Graph is a built channel wait-for graph. Construct with Build (fresh
+// allocation) or Builder.Build (pooled storage).
 type Graph struct {
 	msgs []Msg
 
 	verts []message.VC         // dense index -> VC id
-	index map[message.VC]int32 // VC id -> dense index
+	index map[message.VC]int32 // VC id -> dense index (Build path)
+	tbl   *vcTable             // VC id -> dense index (Builder path)
 	adj   [][]int32            // out-edges
 	owner []int32              // dense vertex -> index into msgs, -1 if free
+
+	edges int // cached arc count; -1 = not yet counted
+
+	sc *scratch // analysis scratch, lazily allocated, reused across calls
 }
 
 // Build constructs the CWG for a snapshot of messages. Messages with no
@@ -68,6 +80,7 @@ func Build(msgs []Msg) *Graph {
 	g := &Graph{
 		msgs:  msgs,
 		index: make(map[message.VC]int32),
+		edges: -1,
 	}
 	vertex := func(vc message.VC) int32 {
 		if i, ok := g.index[vc]; ok {
@@ -102,15 +115,37 @@ func Build(msgs []Msg) *Graph {
 	return g
 }
 
+// vertexOf returns the dense vertex index of vc, whichever construction
+// path built the graph.
+func (g *Graph) vertexOf(vc message.VC) (int32, bool) {
+	if g.tbl != nil {
+		return g.tbl.lookup(vc)
+	}
+	i, ok := g.index[vc]
+	return i, ok
+}
+
+// scratch returns the graph's analysis scratch, allocating it on first use.
+func (g *Graph) scratch() *scratch {
+	if g.sc == nil {
+		g.sc = &scratch{}
+	}
+	return g.sc
+}
+
 // NumVertices returns the number of VCs appearing in the graph.
 func (g *Graph) NumVertices() int { return len(g.verts) }
 
 // NumEdges returns the number of arcs (solid + dashed).
 func (g *Graph) NumEdges() int {
+	if g.edges >= 0 {
+		return g.edges
+	}
 	n := 0
 	for _, a := range g.adj {
 		n += len(a)
 	}
+	g.edges = n
 	return n
 }
 
@@ -120,7 +155,7 @@ func (g *Graph) VCs() []message.VC { return g.verts }
 // OwnerOf returns the id of the message owning vc and true, or false if vc
 // is free or absent from the graph.
 func (g *Graph) OwnerOf(vc message.VC) (message.ID, bool) {
-	i, ok := g.index[vc]
+	i, ok := g.vertexOf(vc)
 	if !ok || g.owner[i] < 0 {
 		return 0, false
 	}
@@ -209,15 +244,105 @@ type Analysis struct {
 	BlockedMessages int
 }
 
+// scratch bundles the reusable working storage for tarjan, FindKnots,
+// classify and the Johnson cycle counter. All per-element arrays are either
+// re-initialized per call (tarjan, condensation) or epoch-stamped (classify
+// marks, Johnson's local-index table), so steady-state analysis performs no
+// heap allocation.
+type scratch struct {
+	// tarjan
+	comp, low, disc []int32
+	onStack         []bool
+	stack           []int32
+	frames          []frame
+
+	// condensation (FindKnots, countAll)
+	terminal, hasEdge []bool
+	compCnt, compOff  []int32
+	compMem           []int32
+
+	// classify marks (epoch-stamped dense sets)
+	epoch int64
+	vMark []int64 // per vertex: in deadlock-set-owned resource set
+	mMark []int64 // per message: in deadlock set
+
+	// Johnson enumeration
+	jEpoch    int64
+	jStamp    []int64
+	jLocal    []int32
+	jAdj      [][]int32
+	jBlocked  []bool
+	jBlockMap [][]int32
+}
+
+type frame struct {
+	v  int32
+	ei int32
+}
+
+// growI32 returns a slice of length n reusing s's storage when possible.
+// Contents are unspecified; callers initialize what they read.
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// growLists returns a slice of n reusable []int32 lists, preserving the
+// capacity of previously grown entries.
+func growLists(s [][]int32, n int) [][]int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([][]int32, n)
+	copy(out, s[:cap(s)])
+	return out
+}
+
+// marks returns the epoch-stamped per-vertex and per-message mark arrays,
+// sized for the graph, with a fresh epoch.
+func (sc *scratch) marks(nVerts, nMsgs int) (vMark, mMark []int64, epoch int64) {
+	if cap(sc.vMark) < nVerts {
+		sc.vMark = make([]int64, nVerts)
+	}
+	if cap(sc.mMark) < nMsgs {
+		sc.mMark = make([]int64, nMsgs)
+	}
+	sc.vMark = sc.vMark[:cap(sc.vMark)]
+	sc.mMark = sc.mMark[:cap(sc.mMark)]
+	sc.epoch++
+	return sc.vMark, sc.mMark, sc.epoch
+}
+
 // FindKnots returns the knots of the graph as vertex-index sets, using
 // Tarjan SCC + condensation: a knot is an SCC with no edges leaving it that
-// contains at least one edge (size > 1, or a self-loop).
+// contains at least one edge (size > 1, or a self-loop). Each returned set
+// is freshly allocated and sorted ascending; internal working storage is
+// reused across calls.
 func (g *Graph) FindKnots() [][]int32 {
 	comp, ncomp := g.tarjan()
-	terminal := make([]bool, ncomp)
-	hasEdge := make([]bool, ncomp)
-	for i := range terminal {
+	sc := g.scratch()
+	sc.terminal = growBool(sc.terminal, ncomp)
+	sc.hasEdge = growBool(sc.hasEdge, ncomp)
+	terminal, hasEdge := sc.terminal, sc.hasEdge
+	for i := 0; i < ncomp; i++ {
 		terminal[i] = true
+		hasEdge[i] = false
 	}
 	for u := range g.adj {
 		cu := comp[u]
@@ -230,45 +355,48 @@ func (g *Graph) FindKnots() [][]int32 {
 			}
 		}
 	}
-	var members [][]int32
-	compSlot := make([]int32, ncomp)
-	for i := range compSlot {
-		compSlot[i] = -1
+	sc.compCnt = growI32(sc.compCnt, ncomp)
+	compSlot := sc.compCnt
+	nk := 0
+	for c := 0; c < ncomp; c++ {
+		if terminal[c] && hasEdge[c] {
+			compSlot[c] = int32(nk)
+			nk++
+		} else {
+			compSlot[c] = -1
+		}
 	}
+	if nk == 0 {
+		return nil
+	}
+	members := make([][]int32, nk)
 	for u := range comp {
-		c := comp[u]
-		if !terminal[c] || !hasEdge[c] {
-			continue
+		if s := compSlot[comp[u]]; s >= 0 {
+			members[s] = append(members[s], int32(u))
 		}
-		if compSlot[c] < 0 {
-			compSlot[c] = int32(len(members))
-			members = append(members, nil)
-		}
-		members[compSlot[c]] = append(members[compSlot[c]], int32(u))
 	}
 	return members
 }
 
 // tarjan computes strongly connected components iteratively and returns the
-// component id per vertex and the number of components.
+// component id per vertex and the number of components. The returned slice
+// is scratch storage, valid until the next analysis call on this graph.
 func (g *Graph) tarjan() (comp []int32, ncomp int) {
 	n := len(g.verts)
-	comp = make([]int32, n)
-	for i := range comp {
+	sc := g.scratch()
+	sc.comp = growI32(sc.comp, n)
+	sc.low = growI32(sc.low, n)
+	sc.disc = growI32(sc.disc, n)
+	sc.onStack = growBool(sc.onStack, n)
+	comp = sc.comp
+	low, disc, onStack := sc.low, sc.disc, sc.onStack
+	for i := 0; i < n; i++ {
 		comp[i] = -1
-	}
-	low := make([]int32, n)
-	disc := make([]int32, n)
-	for i := range disc {
 		disc[i] = -1
+		onStack[i] = false
 	}
-	onStack := make([]bool, n)
-	var stack []int32
-	type frame struct {
-		v  int32
-		ei int
-	}
-	var frames []frame
+	stack := sc.stack[:0]
+	frames := sc.frames[:0]
 	var timer int32
 	for s := 0; s < n; s++ {
 		if disc[s] != -1 {
@@ -283,7 +411,7 @@ func (g *Graph) tarjan() (comp []int32, ncomp int) {
 		for len(frames) > 0 {
 			f := &frames[len(frames)-1]
 			v := f.v
-			if f.ei < len(g.adj[v]) {
+			if int(f.ei) < len(g.adj[v]) {
 				w := g.adj[v][f.ei]
 				f.ei++
 				if disc[w] == -1 {
@@ -320,6 +448,8 @@ func (g *Graph) tarjan() (comp []int32, ncomp int) {
 			}
 		}
 	}
+	sc.stack = stack[:0]
+	sc.frames = frames[:0]
 	return comp, ncomp
 }
 
@@ -337,53 +467,47 @@ func (g *Graph) Analyze(opts Options) Analysis {
 		an.Deadlocks = append(an.Deadlocks, g.classify(knot, opts))
 	}
 	if opts.CountTotalCycles {
-		c := newCounter(opts)
+		c := newCounter(opts, g.scratch())
 		an.TotalCycles, an.TotalCyclesCapped = c.countAll(g)
 	}
 	return an
 }
 
-// classify builds the paper's characterization of one knot.
+// classify builds the paper's characterization of one knot. The knot slice
+// must be sorted ascending (FindKnots emits members in vertex order).
 func (g *Graph) classify(knot []int32, opts Options) Deadlock {
 	var d Deadlock
-	inKnot := make(map[int32]bool, len(knot))
-	for _, v := range knot {
-		inKnot[v] = true
-		d.KnotVCs = append(d.KnotVCs, g.verts[v])
-	}
-	sortVCs(d.KnotVCs)
+	vMark, mMark, epoch := g.scratch().marks(len(g.verts), len(g.msgs))
 
-	// Deadlock set: owners of the knot's VCs.
-	setIdx := make(map[int32]bool)
+	// Deadlock set: owners of the knot's VCs; resource set: every VC
+	// owned by a deadlock-set message.
 	for _, v := range knot {
-		if o := g.owner[v]; o >= 0 {
-			setIdx[o] = true
+		d.KnotVCs = append(d.KnotVCs, g.verts[v])
+		if o := g.owner[v]; o >= 0 && mMark[o] != epoch {
+			mMark[o] = epoch
+			d.DeadlockSet = append(d.DeadlockSet, g.msgs[o].ID)
+			d.ResourceSet = append(d.ResourceSet, g.msgs[o].Owned...)
 		}
 	}
-	for mi := range setIdx {
-		d.DeadlockSet = append(d.DeadlockSet, g.msgs[mi].ID)
-	}
+	sortVCs(d.KnotVCs)
 	sortIDs(d.DeadlockSet)
-
-	// Resource set: every VC owned by a deadlock-set message.
-	for mi := range setIdx {
-		d.ResourceSet = append(d.ResourceSet, g.msgs[mi].Owned...)
-	}
 	sortVCs(d.ResourceSet)
 
 	// Dependent messages: blocked, outside the set, waiting on a VC owned
-	// by a set member.
-	ownedBySet := make(map[message.VC]bool, len(d.ResourceSet))
+	// by a set member. Every owned VC is a graph vertex, so set-owned
+	// membership reduces to a per-vertex mark.
 	for _, vc := range d.ResourceSet {
-		ownedBySet[vc] = true
+		if v, ok := g.vertexOf(vc); ok {
+			vMark[v] = epoch
+		}
 	}
 	for mi := range g.msgs {
 		m := &g.msgs[mi]
-		if !m.Blocked || setIdx[int32(mi)] {
+		if !m.Blocked || mMark[mi] == epoch {
 			continue
 		}
 		for _, w := range m.Wants {
-			if ownedBySet[w] {
+			if v, ok := g.vertexOf(w); ok && vMark[v] == epoch {
 				d.Dependent = append(d.Dependent, m.ID)
 				break
 			}
@@ -392,8 +516,8 @@ func (g *Graph) classify(knot []int32, opts Options) Deadlock {
 	sortIDs(d.Dependent)
 
 	if opts.CountKnotCycles {
-		c := newCounter(opts)
-		d.KnotCycles, d.CyclesCapped = c.countInduced(g, inKnot)
+		c := newCounter(opts, g.scratch())
+		d.KnotCycles, d.CyclesCapped = c.countInduced(g, knot)
 	} else {
 		// Cheap lower bound: a knot always contains at least one cycle.
 		d.KnotCycles = 1
@@ -427,6 +551,10 @@ func (g *Graph) DOT(label func(message.VC) string) string {
 			inKnot[v] = true
 		}
 	}
+	vx := func(vc message.VC) int32 {
+		i, _ := g.vertexOf(vc)
+		return i
+	}
 	var b strings.Builder
 	b.WriteString("digraph cwg {\n  rankdir=LR;\n  node [shape=circle, fontsize=10];\n")
 	for i, vc := range g.verts {
@@ -444,13 +572,13 @@ func (g *Graph) DOT(label func(message.VC) string) string {
 		m := &g.msgs[mi]
 		for j := 0; j+1 < len(m.Owned); j++ {
 			fmt.Fprintf(&b, "  v%d -> v%d [label=\"m%d\"];\n",
-				g.index[m.Owned[j]], g.index[m.Owned[j+1]], m.ID)
+				vx(m.Owned[j]), vx(m.Owned[j+1]), m.ID)
 		}
 		if m.Blocked && len(m.Owned) > 0 {
-			head := g.index[m.Owned[len(m.Owned)-1]]
+			head := vx(m.Owned[len(m.Owned)-1])
 			for _, w := range m.Wants {
 				fmt.Fprintf(&b, "  v%d -> v%d [style=dashed, label=\"m%d\"];\n",
-					head, g.index[w], m.ID)
+					head, vx(w), m.ID)
 			}
 		}
 	}

@@ -269,7 +269,7 @@ func TestJohnsonMatchesNaive(t *testing.T) {
 		n, edges := randomGraph(r, 9)
 		g := digraph(n, edges)
 		want := g.NaiveCycleCount()
-		c := newCounter(Options{})
+		c := newCounter(Options{}, g.scratch())
 		got, capped := c.countAll(g)
 		if capped {
 			t.Fatalf("trial %d: capped on a tiny graph", trial)
@@ -291,7 +291,7 @@ func TestJohnsonCycleCap(t *testing.T) {
 		}
 	}
 	g := digraph(9, edges)
-	c := newCounter(Options{MaxCycles: 50})
+	c := newCounter(Options{MaxCycles: 50}, g.scratch())
 	got, capped := c.countAll(g)
 	if !capped {
 		t.Fatal("cap not reported")
@@ -311,7 +311,7 @@ func TestJohnsonWorkCap(t *testing.T) {
 		}
 	}
 	g := digraph(12, edges)
-	c := newCounter(Options{MaxWork: 1000})
+	c := newCounter(Options{MaxWork: 1000}, g.scratch())
 	_, capped := c.countAll(g)
 	if !capped {
 		t.Fatal("work cap not reported")

@@ -1,7 +1,10 @@
 package cwg
 
 import (
+	"reflect"
 	"testing"
+
+	"flexsim/internal/message"
 )
 
 // FuzzKnotsAndCycles interprets fuzz input as a digraph edge list over up to
@@ -30,7 +33,7 @@ func FuzzKnotsAndCycles(f *testing.F) {
 		if !sameKnotSets(fast, slow) {
 			t.Fatalf("knots disagree on %v: fast=%v naive=%v", edges, fast, slow)
 		}
-		c := newCounter(Options{})
+		c := newCounter(Options{}, g.scratch())
 		got, capped := c.countAll(g)
 		if capped {
 			t.Fatalf("capped on a %d-edge graph", len(edges))
@@ -49,6 +52,102 @@ func FuzzKnotsAndCycles(f *testing.F) {
 					t.Fatalf("knot vertex %d out of range", v)
 				}
 			}
+		}
+	})
+}
+
+// snapshotFromBytes decodes fuzz input into a well-formed CWG snapshot over
+// a small VC universe: ownership is exclusive (a VC owned by an earlier
+// message is skipped), wants lists are only attached to blocked messages.
+// Each control byte encodes one message: bits 0-1 owned-VC count minus one,
+// bit 2 blocked, bits 3-4 wants count; subsequent bytes supply VC ids.
+func snapshotFromBytes(data []byte) []Msg {
+	const universe = 24
+	var owned [universe]bool
+	var msgs []Msg
+	id := message.ID(1)
+	i := 0
+	for i < len(data) {
+		b := data[i]
+		i++
+		nOwn := int(b&0x3) + 1
+		blocked := b&0x4 != 0
+		nWant := int(b>>3) & 0x3
+		var m Msg
+		m.ID = id
+		for k := 0; k < nOwn && i < len(data); k++ {
+			vc := message.VC(data[i] % universe)
+			i++
+			if owned[vc] {
+				continue
+			}
+			owned[vc] = true
+			m.Owned = append(m.Owned, vc)
+		}
+		if len(m.Owned) == 0 {
+			continue
+		}
+		if blocked {
+			for k := 0; k < nWant && i < len(data); k++ {
+				m.Wants = append(m.Wants, message.VC(data[i]%universe))
+				i++
+			}
+			m.Blocked = len(m.Wants) > 0
+		}
+		msgs = append(msgs, m)
+		id++
+	}
+	return msgs
+}
+
+// FuzzBuildEquivalence cross-validates the three detection paths on random
+// snapshots: the pooled/dense Builder must produce analyses identical to
+// the allocating Build path, and the Tarjan-based knot finder must agree
+// with the naive per-vertex-reachability knot definition. It also rebuilds
+// through the same Builder with interleaved foreign snapshots to prove the
+// reused arenas carry no state between builds.
+func FuzzBuildEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x05, 0x00, 0x01, 0x05, 0x01, 0x00}) // 2-message swap knot
+	f.Add([]byte{0x0d, 0x02, 0x03, 0x04})             // blocked chain with wants
+	f.Add([]byte{0x01, 0x07, 0x08, 0x05, 0x09, 0x07}) // solid chains + wait
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		msgs := snapshotFromBytes(data)
+		opts := Options{CountKnotCycles: true, CountTotalCycles: true}
+		legacy := Build(msgs)
+		want := legacy.Analyze(opts)
+
+		b := NewBuilder(24)
+		dense := b.Build(msgs)
+		if legacy.NumVertices() != dense.NumVertices() || legacy.NumEdges() != dense.NumEdges() {
+			t.Fatalf("graph shape differs: legacy V=%d E=%d dense V=%d E=%d",
+				legacy.NumVertices(), legacy.NumEdges(), dense.NumVertices(), dense.NumEdges())
+		}
+		for i, vc := range legacy.VCs() {
+			if dense.VCs()[i] != vc {
+				t.Fatalf("vertex numbering differs at %d: legacy %d dense %d", i, vc, dense.VCs()[i])
+			}
+		}
+		got := dense.Analyze(opts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("analysis differs:\nlegacy %+v\ndense  %+v", want, got)
+		}
+
+		// Naive knot definition on the dense graph.
+		if fast, slow := dense.FindKnots(), dense.NaiveKnots(); !sameKnotSets(fast, slow) {
+			t.Fatalf("knots disagree: tarjan=%v naive=%v", fast, slow)
+		}
+
+		// Arena-reuse: run a different snapshot through the same builder,
+		// then rebuild the original and demand the identical analysis.
+		alt := snapshotFromBytes(append([]byte{0xff, 0x13, 0x11, 0x0f, 0x07, 0x01}, data...))
+		b.Build(alt).Analyze(opts)
+		got2 := b.Build(msgs).Analyze(opts)
+		if !reflect.DeepEqual(got2, want) {
+			t.Fatalf("analysis changed after arena reuse:\nfirst  %+v\nsecond %+v", want, got2)
 		}
 	})
 }

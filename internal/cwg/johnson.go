@@ -11,6 +11,11 @@ package cwg
 // hit. Cycles only exist inside strongly connected components, so the
 // enumerator first condenses the graph and then runs Johnson per nontrivial
 // SCC, which keeps the common no-deadlock case at O(V+E).
+//
+// All working storage — the global-to-local vertex index (epoch-stamped
+// dense array), the per-SCC adjacency lists, and Johnson's blocked set and
+// block map — lives in the graph's shared scratch and is reused across
+// invocations.
 
 // counter carries the enumeration state and caps.
 type counter struct {
@@ -19,10 +24,11 @@ type counter struct {
 	cycles    int
 	work      int
 	capped    bool
+	sc        *scratch
 }
 
-func newCounter(opts Options) *counter {
-	c := &counter{maxCycles: opts.MaxCycles, maxWork: opts.MaxWork}
+func newCounter(opts Options, sc *scratch) *counter {
+	c := &counter{maxCycles: opts.MaxCycles, maxWork: opts.MaxWork, sc: sc}
 	if c.maxCycles <= 0 {
 		c.maxCycles = DefaultMaxCycles
 	}
@@ -35,30 +41,51 @@ func newCounter(opts Options) *counter {
 // countAll counts elementary cycles in the whole graph.
 func (c *counter) countAll(g *Graph) (int, bool) {
 	comp, ncomp := g.tarjan()
-	// Gather vertices per component; only components with an internal
-	// edge can contain cycles.
-	size := make([]int32, ncomp)
-	hasEdge := make([]bool, ncomp)
+	sc := c.sc
+	// Only components with an internal edge can contain cycles; bucket
+	// their members (in ascending vertex order) into one flat slice.
+	sc.hasEdge = growBool(sc.hasEdge, ncomp)
+	sc.compCnt = growI32(sc.compCnt, ncomp)
+	hasEdge, cnt := sc.hasEdge, sc.compCnt
+	for i := 0; i < ncomp; i++ {
+		hasEdge[i] = false
+		cnt[i] = 0
+	}
 	for u := range g.adj {
-		size[comp[u]]++
 		for _, v := range g.adj[u] {
 			if comp[v] == comp[u] {
 				hasEdge[comp[u]] = true
 			}
 		}
 	}
-	members := make([][]int32, ncomp)
-	for u := range comp {
-		cu := comp[u]
-		if hasEdge[cu] {
-			members[cu] = append(members[cu], int32(u))
+	n := len(g.verts)
+	sc.compOff = growI32(sc.compOff, ncomp+1)
+	sc.compMem = growI32(sc.compMem, n)
+	off, mem := sc.compOff, sc.compMem
+	for u := 0; u < n; u++ {
+		if hasEdge[comp[u]] {
+			cnt[comp[u]]++
 		}
 	}
-	for _, mem := range members {
-		if len(mem) == 0 {
+	run := int32(0)
+	for i := 0; i < ncomp; i++ {
+		off[i] = run
+		run += cnt[i]
+		cnt[i] = off[i]
+	}
+	off[ncomp] = run
+	for u := 0; u < n; u++ {
+		if cu := comp[u]; hasEdge[cu] {
+			mem[cnt[cu]] = int32(u)
+			cnt[cu]++
+		}
+	}
+	for i := 0; i < ncomp; i++ {
+		m := mem[off[i]:off[i+1]]
+		if len(m) == 0 {
 			continue
 		}
-		c.countSCC(g, mem)
+		c.countSCC(g, m)
 		if c.capped {
 			break
 		}
@@ -67,18 +94,9 @@ func (c *counter) countAll(g *Graph) (int, bool) {
 }
 
 // countInduced counts elementary cycles in the subgraph induced by the given
-// vertex set (used for knot cycle density; a knot is a single SCC).
-func (c *counter) countInduced(g *Graph, in map[int32]bool) (int, bool) {
-	mem := make([]int32, 0, len(in))
-	for v := range in {
-		mem = append(mem, v)
-	}
-	// Deterministic order for reproducible capped counts.
-	for i := 1; i < len(mem); i++ {
-		for j := i; j > 0 && mem[j] < mem[j-1]; j-- {
-			mem[j], mem[j-1] = mem[j-1], mem[j]
-		}
-	}
+// vertex set, which must be sorted ascending (used for knot cycle density;
+// a knot is a single SCC and FindKnots emits members in vertex order).
+func (c *counter) countInduced(g *Graph, mem []int32) (int, bool) {
 	c.countSCC(g, mem)
 	return c.cycles, c.capped
 }
@@ -87,21 +105,39 @@ func (c *counter) countInduced(g *Graph, in map[int32]bool) (int, bool) {
 // mem (which must all belong to one graph; cycles leaving mem are ignored).
 func (c *counter) countSCC(g *Graph, mem []int32) {
 	n := len(mem)
-	local := make(map[int32]int32, n)
-	for i, v := range mem {
-		local[v] = int32(i)
-	}
-	adj := make([][]int32, n)
-	for i, v := range mem {
-		for _, w := range g.adj[v] {
-			if lw, ok := local[w]; ok {
-				adj[i] = append(adj[i], lw)
-			}
+	sc := c.sc
+	sc.jStamp = growI64(sc.jStamp, len(g.verts))
+	sc.jLocal = growI32(sc.jLocal, len(g.verts))
+	if sc.jEpoch == 0 {
+		// First use of a (possibly recycled) stamp array: force-clear.
+		for i := range sc.jStamp {
+			sc.jStamp[i] = -1
 		}
 	}
-	j := &johnson{adj: adj, c: c,
-		blocked:  make([]bool, n),
-		blockMap: make([][]int32, n),
+	sc.jEpoch++
+	for i, v := range mem {
+		sc.jLocal[v] = int32(i)
+		sc.jStamp[v] = sc.jEpoch
+	}
+	sc.jAdj = growLists(sc.jAdj, n)
+	for i, v := range mem {
+		lst := sc.jAdj[i][:0]
+		for _, w := range g.adj[v] {
+			if sc.jStamp[w] == sc.jEpoch {
+				lst = append(lst, sc.jLocal[w])
+			}
+		}
+		sc.jAdj[i] = lst
+	}
+	sc.jBlocked = growBool(sc.jBlocked, n)
+	sc.jBlockMap = growLists(sc.jBlockMap, n)
+	for i := 0; i < n; i++ {
+		sc.jBlocked[i] = false
+		sc.jBlockMap[i] = sc.jBlockMap[i][:0]
+	}
+	j := &johnson{adj: sc.jAdj[:n], c: c,
+		blocked:  sc.jBlocked,
+		blockMap: sc.jBlockMap,
 	}
 	for s := 0; s < n && !c.capped; s++ {
 		j.s = int32(s)
@@ -111,6 +147,8 @@ func (c *counter) countSCC(g *Graph, mem []int32) {
 		}
 		j.circuit(int32(s))
 	}
+	// Persist block-map capacity grown during enumeration.
+	sc.jBlockMap = j.blockMap
 }
 
 type johnson struct {

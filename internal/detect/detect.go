@@ -113,6 +113,11 @@ type CensusSample struct {
 // Stats aggregates detection results; reset at the warmup/measure boundary.
 type Stats struct {
 	Invocations int64
+	// Gated counts invocations that skipped the CWG rebuild entirely
+	// because the network's resource epoch had not moved since a previous
+	// deadlock-free pass (change-gating; such passes still count as
+	// Invocations).
+	Gated       int64
 	Deadlocks   int64
 	SingleCycle int64
 	MultiCycle  int64
@@ -153,6 +158,22 @@ type Detector struct {
 
 	snap     []cwg.Msg
 	ownedBuf []message.VC
+
+	// builder reuses CWG storage across passes (dense VC indexing).
+	builder *cwg.Builder
+	// byID indexes active messages at most once per detection pass
+	// (passSeq/byIDSeq track staleness).
+	byID    map[message.ID]*message.Message
+	passSeq int64
+	byIDSeq int64
+
+	// Change-gating state: a pass may be skipped when the network's
+	// resource epoch is unchanged since the last pass and that pass was
+	// deadlock-free (lastClean). lastAnalysis replays that pass's result.
+	gateValid    bool
+	lastClean    bool
+	lastEpoch    uint64
+	lastAnalysis cwg.Analysis
 }
 
 // New builds a detector for net. A zero Every defaults to the paper's 50
@@ -210,12 +231,39 @@ func (d *Detector) Snapshot() []cwg.Msg {
 	return d.snap
 }
 
+// Invalidate drops the change-gating state so the next DetectNow performs a
+// full pass regardless of the network's resource epoch (benchmarks,
+// ablations).
+func (d *Detector) Invalidate() { d.gateValid = false }
+
+// gateable reports whether change-gating preserves this configuration's
+// semantics: the cycle census samples per-pass occupancy and the timeout
+// comparison depends on blocked durations, so both must observe every pass.
+func (d *Detector) gateable() bool {
+	return !d.cfg.CycleCensus && len(d.cfg.TimeoutThresholds) == 0
+}
+
 // DetectNow performs one detection pass: build the CWG, find and classify
 // knots, record statistics, and (if enabled) absorb one victim per knot.
 // It returns the analysis.
+//
+// When the network's resource epoch is unchanged since the last pass and
+// that pass found no deadlock, the CWG is provably identical, so the pass
+// is skipped and the previous (deadlock-free) analysis returned; Stats.Gated
+// counts such invocations.
 func (d *Detector) DetectNow() cwg.Analysis {
+	epoch := d.net.ResourceEpoch()
+	if d.gateValid && d.lastClean && epoch == d.lastEpoch && d.gateable() {
+		d.Stats.Invocations++
+		d.Stats.Gated++
+		return d.lastAnalysis
+	}
+	if d.builder == nil {
+		d.builder = cwg.NewBuilder(d.net.TotalVCs())
+	}
+	d.passSeq++
 	d.ownedBuf = d.ownedBuf[:0]
-	g := cwg.Build(d.Snapshot())
+	g := d.builder.Build(d.Snapshot())
 	an := g.Analyze(cwg.Options{
 		CountKnotCycles:  d.cfg.CountKnotCycles,
 		CountTotalCycles: d.cfg.CycleCensus,
@@ -260,6 +308,12 @@ func (d *Detector) DetectNow() cwg.Analysis {
 			d.Events = append(d.Events, Event{Cycle: d.net.Now(), Deadlock: *dl, Victim: victim})
 		}
 	}
+	d.lastClean = len(an.Deadlocks) == 0
+	d.lastEpoch = epoch
+	d.gateValid = true
+	if d.lastClean {
+		d.lastAnalysis = an
+	}
 	return an
 }
 
@@ -290,15 +344,31 @@ func (d *Detector) record(dl *cwg.Deadlock) {
 	}
 }
 
-// selectVictim applies the victim policy over the deadlock set.
-func (d *Detector) selectVictim(dl *cwg.Deadlock) *message.Message {
-	byID := make(map[message.ID]*message.Message, len(dl.DeadlockSet))
+// indexActive (re)builds the active-message index once per recovery pass;
+// selectVictim then resolves deadlock-set ids without rescanning the
+// network per deadlock.
+func (d *Detector) indexActive() {
+	if d.byID == nil {
+		d.byID = make(map[message.ID]*message.Message, d.net.ActiveCount())
+	} else {
+		clear(d.byID)
+	}
 	for _, m := range d.net.ActiveMessages() {
-		byID[m.ID] = m
+		d.byID[m.ID] = m
+	}
+	d.byIDSeq = d.passSeq
+}
+
+// selectVictim applies the victim policy over the deadlock set, resolving
+// ids through the per-pass active-message index (built on demand, at most
+// once per pass).
+func (d *Detector) selectVictim(dl *cwg.Deadlock) *message.Message {
+	if d.byID == nil || d.byIDSeq != d.passSeq {
+		d.indexActive()
 	}
 	var candidates []*message.Message
 	for _, id := range dl.DeadlockSet {
-		if m := byID[id]; m != nil && m.Status == message.Active {
+		if m := d.byID[id]; m != nil && m.Status == message.Active {
 			candidates = append(candidates, m)
 		}
 	}

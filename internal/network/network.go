@@ -69,6 +69,13 @@ type Network struct {
 
 	now int64
 
+	// resEpoch counts blocked-set/resource mutations: it is bumped
+	// whenever a message acquires or releases a VC, blocks, unblocks, or
+	// enters recovery — exactly the events that can change the channel
+	// wait-for graph. Detectors use it to skip rebuilding an unchanged
+	// CWG (see ResourceEpoch).
+	resEpoch uint64
+
 	numNetVCs int
 	numVCs    int
 	owner     []*message.Message // by VC id; nil = free
@@ -220,6 +227,18 @@ func (n *Network) Downstream(vc message.VC) int {
 // NumVCs returns the size of the VC id space (network VCs + injection VCs).
 func (n *Network) NumVCs() int { return n.numVCs }
 
+// TotalVCs returns the size of the VC id space — the dense vertex universe
+// a CWG builder should be sized for. Alias of NumVCs, named for the
+// detection pipeline.
+func (n *Network) TotalVCs() int { return n.numVCs }
+
+// ResourceEpoch returns a counter that changes whenever the network's
+// resource-wait state — VC ownership, blocked flags, candidate sets —
+// changes. If two observations return the same epoch, the channel wait-for
+// graph built from the network is identical at both points; flit movement
+// within already-owned buffers does not bump it.
+func (n *Network) ResourceEpoch() uint64 { return n.resEpoch }
+
 // Owner returns the message currently owning vc, or nil.
 func (n *Network) Owner(vc message.VC) *message.Message { return n.owner[vc] }
 
@@ -318,6 +337,7 @@ func (n *Network) startInjections() {
 		m.Status = message.Active
 		m.InjectTime = n.now
 		n.active = append(n.active, m)
+		n.resEpoch++
 		n.trace(trace.Injected, m.ID, vc, node)
 	}
 }
@@ -362,6 +382,7 @@ func (n *Network) allocatePhase() {
 			if n.owner[vc] == nil {
 				n.owner[vc] = m
 				m.Acquire(vc)
+				n.resEpoch++
 				if m.Blocked {
 					m.Blocked = false
 					m.Wants = m.Wants[:0]
@@ -376,6 +397,7 @@ func (n *Network) allocatePhase() {
 			if !m.Blocked {
 				m.Blocked = true
 				m.BlockedSince = n.now
+				n.resEpoch++
 				n.trace(trace.Blocked, m.ID, message.NoVC, here)
 			}
 			m.Wants = m.Wants[:0]
@@ -550,7 +572,10 @@ func (n *Network) eject(m *message.Message) {
 	if m.Consumed == m.Len {
 		m.Status = message.Delivered
 		m.DeliverTime = n.now
-		m.Blocked = false
+		if m.Blocked {
+			m.Blocked = false
+			n.resEpoch++
+		}
 		m.Wants = nil
 		n.DeliveredCount++
 		n.trace(trace.Delivered, m.ID, message.NoVC, m.Dst)
@@ -565,6 +590,7 @@ func (n *Network) releasePhase() {
 		for m.Released < len(m.Path) && m.Departed[m.Released] == int32(m.Len) {
 			n.owner[m.Path[m.Released]] = nil
 			m.Released++
+			n.resEpoch++
 		}
 		done := (m.Status == message.Delivered || m.Status == message.Recovered) &&
 			m.Released == len(m.Path)
@@ -596,6 +622,7 @@ func (n *Network) Absorb(m *message.Message) {
 	m.Status = message.Recovering
 	m.Blocked = false
 	m.Wants = m.Wants[:0]
+	n.resEpoch++
 	n.trace(trace.RecoveryStart, m.ID, message.NoVC, -1)
 	if n.p.RecoveryDrainRate == 0 {
 		n.absorbFlits(m, m.Len-m.Consumed)

@@ -373,6 +373,8 @@ func (r *Runner) Finish() *stats.Result {
 	res.SumCycles = s.SumCycles
 	res.MaxCycles = s.MaxCycles
 	res.CensusCapped = s.CensusCapped
+	res.Invocations = s.Invocations
+	res.GatedInvocations = s.Gated
 	// A run is saturated when the offered load exceeds what the network
 	// sustains: source queues grow across the measurement window. The
 	// threshold (5% of offered messages, at least 8) tolerates pipeline

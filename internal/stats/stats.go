@@ -65,6 +65,12 @@ type Result struct {
 	SumCycles     int64
 	MaxCycles     int
 	CensusCapped  bool
+
+	// Detector invocation accounting: total detection passes during
+	// measurement and how many were change-gated (skipped rebuilding an
+	// unchanged CWG).
+	Invocations      int64
+	GatedInvocations int64
 }
 
 // NormalizedDeadlocks returns deadlocks per message delivered (the paper's
