@@ -15,6 +15,7 @@ import (
 	"flexsim/internal/detect"
 	"flexsim/internal/experiments"
 	"flexsim/internal/network"
+	"flexsim/internal/obs"
 	"flexsim/internal/rng"
 	"flexsim/internal/routing"
 	"flexsim/internal/sim"
@@ -103,6 +104,58 @@ func BenchmarkSimCycle(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < 2000; i++ { // reach saturation occupancy
+		r.StepCycle()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.StepCycle()
+	}
+}
+
+// BenchmarkSimCycleObsOff is BenchmarkSimCycle with the observability
+// fields explicitly zero — the nil-guarded hooks must not change the hot
+// path. Compare its ns/op against BenchmarkSimCycle (budget: <= 2% apart)
+// and require 0 allocs/op.
+func BenchmarkSimCycleObsOff(b *testing.B) {
+	cfg := sim.Default()
+	cfg.Load = 1.0
+	cfg.DetectEvery = 1 << 30
+	cfg.WarmupCycles = 0
+	cfg.MetricsEvery = 0
+	cfg.MetricsSink = nil
+	cfg.MetricsLive = nil
+	cfg.Incidents = nil
+	cfg.Tracer = nil
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ { // reach saturation occupancy
+		r.StepCycle()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.StepCycle()
+	}
+}
+
+// BenchmarkSimCycleObsOn measures the same loop with interval metrics and a
+// live view enabled at the default cadence — the cost of observability when
+// it is on.
+func BenchmarkSimCycleObsOn(b *testing.B) {
+	cfg := sim.Default()
+	cfg.Load = 1.0
+	cfg.DetectEvery = 1 << 30
+	cfg.WarmupCycles = 0
+	cfg.MetricsEvery = obs.DefaultEvery
+	cfg.MetricsLive = &obs.Live{}
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
 		r.StepCycle()
 	}
 	b.ReportAllocs()

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"flexsim/internal/experiments"
+	"flexsim/internal/obs"
 	"flexsim/internal/prof"
 	"flexsim/internal/stats"
 )
@@ -31,6 +32,9 @@ func run() int {
 	par := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 0, "seed offset (0 = default)")
 	loads := flag.String("loads", "", "comma-separated load override, e.g. 0.2,0.6,1.0")
+	metricsOut := flag.String("metrics-out", "", "write interval metrics for every run to this file (.jsonl/.json = JSONL, else CSV)")
+	metricsEvery := flag.Int("metrics-every", obs.DefaultEvery, "interval metrics sampling period in cycles")
+	httpAddr := flag.String("http", "", "serve /metrics, /healthz and /progress on this address during the sweep")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -62,6 +66,31 @@ func run() int {
 	if *exp == "all" {
 		ids = experiments.Names()
 	}
+
+	var metricsErr func() error
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charsweep:", err)
+			return 1
+		}
+		defer f.Close()
+		opts.MetricsSink, metricsErr = obs.SinkFor(*metricsOut, f)
+		opts.MetricsEvery = *metricsEvery
+	}
+	var progress *obs.SweepProgress
+	if *httpAddr != "" {
+		progress = obs.NewSweepProgress(ids)
+		opts.OnRun = progress.RunDone
+		srv, err := obs.Serve(*httpAddr, nil, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charsweep:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "charsweep: serving /progress on http://%s\n", srv.Addr())
+	}
+
 	for _, id := range ids {
 		f, err := experiments.ByName(id)
 		if err != nil {
@@ -69,10 +98,19 @@ func run() int {
 			return 1
 		}
 		start := time.Now()
+		if progress != nil {
+			progress.Start(id)
+		}
 		tables, err := f(opts)
 		if err != nil {
+			if progress != nil {
+				progress.Fail(id)
+			}
 			fmt.Fprintf(os.Stderr, "charsweep: %s: %v\n", id, err)
 			return 1
+		}
+		if progress != nil {
+			progress.Finish(id, time.Since(start))
 		}
 		for _, t := range tables {
 			if *csv {
@@ -97,6 +135,12 @@ func run() int {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if metricsErr != nil {
+		if err := metricsErr(); err != nil {
+			fmt.Fprintln(os.Stderr, "charsweep:", err)
+			return 1
+		}
 	}
 	return 0
 }

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"flexsim/internal/core"
+	"flexsim/internal/obs"
 	"flexsim/internal/prof"
 	"flexsim/internal/trace"
 )
@@ -49,6 +50,12 @@ func run() int {
 	flag.IntVar(&cfg.ComputeDelay, "compute", 0, "compute cycles between workload phases")
 	norecover := flag.Bool("no-recover", false, "detect but do not break deadlocks")
 	check := flag.Bool("check", false, "enable per-cycle invariant checking (slow)")
+	metricsOut := flag.String("metrics-out", "", "write interval metrics to this file (.jsonl/.json = JSONL, else CSV)")
+	metricsEvery := flag.Int("metrics-every", obs.DefaultEvery, "interval metrics sampling period in cycles")
+	incidentsOut := flag.String("incidents-out", "", "write per-deadlock incident post-mortems to this file as JSONL")
+	incidentsDOT := flag.Bool("incidents-dot", false, "include a Graphviz knot-subgraph snapshot in each incident")
+	traceJSON := flag.String("trace-json", "", "stream message lifecycle events to this file as JSONL")
+	httpAddr := flag.String("http", "", "serve /metrics (Prometheus) and /healthz on this address during the run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -57,10 +64,67 @@ func run() int {
 	cfg.CycleCensus = *census
 	cfg.Recover = !*norecover
 	cfg.CheckInvariants = *check
+
+	var tracers trace.Multi
 	var ring *trace.Ring
 	if *traceLast > 0 {
 		ring = &trace.Ring{Cap: *traceLast}
-		cfg.Tracer = ring
+		tracers = append(tracers, ring)
+	}
+	var incidents *obs.IncidentLog
+	if *incidentsOut != "" {
+		if ring == nil {
+			// Give post-mortems event context even without -trace-last.
+			ring = &trace.Ring{Cap: 256}
+			tracers = append(tracers, ring)
+		}
+		incidents = &obs.IncidentLog{LastEvents: ring}
+		cfg.Incidents = incidents
+		cfg.IncidentDOT = *incidentsDOT
+	}
+	var jsonTrace *trace.JSONWriter
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexsim:", err)
+			return 1
+		}
+		defer f.Close()
+		jsonTrace = &trace.JSONWriter{W: f}
+		tracers = append(tracers, jsonTrace)
+	}
+	switch len(tracers) {
+	case 0:
+	case 1:
+		cfg.Tracer = tracers[0]
+	default:
+		cfg.Tracer = tracers
+	}
+
+	var metricsErr func() error
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexsim:", err)
+			return 1
+		}
+		defer f.Close()
+		cfg.MetricsSink, metricsErr = obs.SinkFor(*metricsOut, f)
+		cfg.MetricsEvery = *metricsEvery
+	}
+	if *httpAddr != "" {
+		live := &obs.Live{}
+		cfg.MetricsLive = live
+		if cfg.MetricsEvery == 0 {
+			cfg.MetricsEvery = *metricsEvery
+		}
+		srv, err := obs.Serve(*httpAddr, live, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexsim:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "flexsim: serving /metrics on http://%s\n", srv.Addr())
 	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -95,6 +159,12 @@ func run() int {
 		res.MeanActive, res.MeanBlocked, 100*res.BlockedFraction(), res.MeanQueued)
 	fmt.Printf("deadlocks:          %d (%d single-cycle, %d multi-cycle), normalized %.6f per message\n",
 		res.Deadlocks, res.SingleCycle, res.MultiCycle, res.NormalizedDeadlocks())
+	if res.Invocations > 0 {
+		fmt.Printf("detector:           %d passes (%.1f%% gated), build mean %.1f µs p99 %.1f µs, analyze mean %.1f µs\n",
+			res.Invocations, 100*float64(res.GatedInvocations)/float64(res.Invocations),
+			res.DetectBuildTime.Mean()/1e3, float64(res.DetectBuildTime.Quantile(0.99))/1e3,
+			res.DetectAnalyzeTime.Mean()/1e3)
+	}
 	if res.Deadlocks > 0 {
 		fmt.Printf("deadlock sets:      mean %.2f msgs (max %d); resource sets mean %.2f VCs (max %d)\n",
 			res.MeanDeadlockSet(), res.MaxDeadlockSet, res.MeanResourceSet(), res.MaxResourceSet)
@@ -109,10 +179,38 @@ func run() int {
 		fmt.Printf("cycle census:       mean %.1f cycles per check, max %d%s\n",
 			res.MeanCensusCycles(), res.MaxCycles, capped)
 	}
-	if ring != nil {
+	if ring != nil && *traceLast > 0 {
 		fmt.Printf("last %d of %d lifecycle events:\n", len(ring.Events()), ring.Total())
 		for _, ev := range ring.Events() {
 			fmt.Println(" ", ev)
+		}
+	}
+	if incidents != nil {
+		f, err := os.Create(*incidentsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexsim:", err)
+			return 1
+		}
+		werr := incidents.WriteJSONL(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "flexsim:", werr)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "flexsim: wrote %d incident(s) to %s\n", incidents.Len(), *incidentsOut)
+	}
+	if metricsErr != nil {
+		if err := metricsErr(); err != nil {
+			fmt.Fprintln(os.Stderr, "flexsim:", err)
+			return 1
+		}
+	}
+	if jsonTrace != nil {
+		if err := jsonTrace.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "flexsim:", err)
+			return 1
 		}
 	}
 	return 0

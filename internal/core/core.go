@@ -79,6 +79,13 @@ type Point struct {
 // deterministic seed from the base seed and its load so results are
 // reproducible regardless of scheduling.
 func LoadSweep(base Config, loads []float64, parallelism int) []Point {
+	return LoadSweepNotify(base, loads, parallelism, nil)
+}
+
+// LoadSweepNotify is LoadSweep with a per-point completion callback; onDone
+// (if non-nil) is called from worker goroutines as each point finishes, so
+// it must be concurrency-safe.
+func LoadSweepNotify(base Config, loads []float64, parallelism int, onDone func(i int, p Point)) []Point {
 	configs := make([]Config, len(loads))
 	for i, l := range loads {
 		c := base
@@ -86,12 +93,19 @@ func LoadSweep(base Config, loads []float64, parallelism int) []Point {
 		c.Seed = pointSeed(base.Seed, i)
 		configs[i] = c
 	}
-	return RunAll(configs, parallelism)
+	return RunAllNotify(configs, parallelism, onDone)
 }
 
 // RunAll executes every configuration, in parallel across up to parallelism
 // goroutines (0 means GOMAXPROCS), preserving order.
 func RunAll(configs []Config, parallelism int) []Point {
+	return RunAllNotify(configs, parallelism, nil)
+}
+
+// RunAllNotify is RunAll with a per-run completion callback; onDone (if
+// non-nil) is called from worker goroutines as each run finishes, so it
+// must be concurrency-safe.
+func RunAllNotify(configs []Config, parallelism int, onDone func(i int, p Point)) []Point {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -108,6 +122,9 @@ func RunAll(configs []Config, parallelism int) []Point {
 			for i := range work {
 				res, err := sim.Run(configs[i])
 				points[i] = Point{Load: configs[i].Load, Result: res, Err: err}
+				if onDone != nil {
+					onDone(i, points[i])
+				}
 			}
 		}()
 	}

@@ -585,3 +585,54 @@ func (g *Graph) DOT(label func(message.VC) string) string {
 	b.WriteString("}\n")
 	return b.String()
 }
+
+// KnotDOT renders only the subgraph induced by one deadlock's knot — the
+// terminal strongly connected VCs and the ownership/wait arcs among them —
+// in Graphviz format. label renders a VC id (pass nil for numeric ids). The
+// deadlock must come from an Analyze of this graph.
+func (g *Graph) KnotDOT(d *Deadlock, label func(message.VC) string) string {
+	if label == nil {
+		label = func(vc message.VC) string { return fmt.Sprintf("c%d", vc) }
+	}
+	in := make(map[message.VC]bool, len(d.KnotVCs))
+	for _, vc := range d.KnotVCs {
+		in[vc] = true
+	}
+	var b strings.Builder
+	b.WriteString("digraph knot {\n  rankdir=LR;\n  node [shape=circle, fontsize=10, style=filled, fillcolor=lightcoral];\n")
+	for _, vc := range d.KnotVCs {
+		i, ok := g.vertexOf(vc)
+		if !ok {
+			continue
+		}
+		ownerLbl := "free"
+		if o := g.owner[i]; o >= 0 {
+			ownerLbl = fmt.Sprintf("m%d", g.msgs[o].ID)
+		}
+		fmt.Fprintf(&b, "  v%d [label=\"%s\\n%s\"];\n", i, label(vc), ownerLbl)
+	}
+	vx := func(vc message.VC) int32 {
+		i, _ := g.vertexOf(vc)
+		return i
+	}
+	for mi := range g.msgs {
+		m := &g.msgs[mi]
+		for j := 0; j+1 < len(m.Owned); j++ {
+			if in[m.Owned[j]] && in[m.Owned[j+1]] {
+				fmt.Fprintf(&b, "  v%d -> v%d [label=\"m%d\"];\n",
+					vx(m.Owned[j]), vx(m.Owned[j+1]), m.ID)
+			}
+		}
+		if m.Blocked && len(m.Owned) > 0 && in[m.Owned[len(m.Owned)-1]] {
+			head := vx(m.Owned[len(m.Owned)-1])
+			for _, w := range m.Wants {
+				if in[w] {
+					fmt.Fprintf(&b, "  v%d -> v%d [style=dashed, label=\"m%d\"];\n",
+						head, vx(w), m.ID)
+				}
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -365,6 +365,35 @@ func TestDOTOutput(t *testing.T) {
 	}
 }
 
+func TestKnotDOTOutput(t *testing.T) {
+	g := Build(PaperFig2())
+	an := g.Analyze(Options{CountKnotCycles: true})
+	if len(an.Deadlocks) != 1 {
+		t.Fatal("expected one deadlock")
+	}
+	dl := &an.Deadlocks[0]
+	dot := g.KnotDOT(dl, nil)
+	if !strings.Contains(dot, "digraph knot") {
+		t.Errorf("KnotDOT missing header:\n%s", dot)
+	}
+	// Every knot VC appears as a vertex (two-line owner label); nothing
+	// outside the knot does.
+	vertices := strings.Count(dot, `\n`)
+	edges := strings.Count(dot, "->")
+	if vertices != len(dl.KnotVCs) {
+		t.Errorf("expected %d vertex lines, got %d (%d arrow lines):\n%s",
+			len(dl.KnotVCs), vertices, edges, dot)
+	}
+	// The knot is a terminal SCC with at least one arc among its members.
+	if edges == 0 {
+		t.Errorf("knot subgraph rendered without arcs:\n%s", dot)
+	}
+	custom := g.KnotDOT(dl, func(vc message.VC) string { return "Y" })
+	if !strings.Contains(custom, "Y") {
+		t.Error("custom labeler ignored")
+	}
+}
+
 func TestKindString(t *testing.T) {
 	if SingleCycle.String() != "single-cycle" || MultiCycle.String() != "multi-cycle" {
 		t.Error("Kind strings wrong")

@@ -8,11 +8,13 @@ package detect
 
 import (
 	"fmt"
+	"time"
 
 	"flexsim/internal/cwg"
 	"flexsim/internal/message"
 	"flexsim/internal/network"
 	"flexsim/internal/rng"
+	"flexsim/internal/stats"
 )
 
 // VictimPolicy selects the message to absorb from a deadlock set.
@@ -91,6 +93,38 @@ type Config struct {
 	// approximation (à la Disha/compressionless routing) against the true
 	// knot ground truth at each pass (see TimeoutCounts).
 	TimeoutThresholds []int64
+	// Observer, if non-nil, is notified of every detected deadlock after
+	// victim selection (and recovery initiation, when enabled). The hook
+	// is a single nil-guarded branch; a nil Observer costs nothing.
+	Observer Observer
+	// SnapshotDOT additionally renders each deadlock's knot subgraph in
+	// Graphviz format into the Observation (post-mortem artifacts;
+	// allocates, so leave off on perf-sensitive runs).
+	SnapshotDOT bool
+}
+
+// Observation describes one detected deadlock as handed to an Observer.
+type Observation struct {
+	// Cycle is the detection cycle.
+	Cycle int64
+	// Deadlock is the characterized knot. It is only valid during the
+	// ObserveDeadlock call: its backing arrays are reused by the next
+	// detection pass, so implementations must copy what they keep.
+	Deadlock *cwg.Deadlock
+	// Victim is the message chosen for recovery (-1 when recovery is
+	// disabled or no active candidate existed).
+	Victim message.ID
+	// Policy is the victim policy in force.
+	Policy VictimPolicy
+	// KnotDOT is the knot subgraph in Graphviz format (empty unless
+	// Config.SnapshotDOT).
+	KnotDOT string
+}
+
+// Observer receives deadlock observations (see Config.Observer).
+// Implementations must be cheap and must not retain Observation.Deadlock.
+type Observer interface {
+	ObserveDeadlock(Observation)
 }
 
 // Event records one detected deadlock.
@@ -144,6 +178,23 @@ type Stats struct {
 	// Timeout holds the per-threshold approximation quality counters
 	// (aligned with Config.TimeoutThresholds; empty when disabled).
 	Timeout []TimeoutCounts
+
+	// BuildTime and AnalyzeTime are wall-clock timing histograms (in
+	// nanoseconds) over full passes: snapshot+CWG construction versus
+	// knot analysis. Gated passes build nothing and are not sampled.
+	// Bucket storage is pre-grown so observing stays allocation-free.
+	BuildTime   stats.Histogram
+	AnalyzeTime stats.Histogram
+}
+
+// timingGrowTo pre-sizes the timing histograms: passes up to 1s land in
+// pre-allocated buckets, keeping the detection hot path at 0 allocs/op.
+const timingGrowTo = int64(time.Second)
+
+// growTiming pre-allocates the timing histograms' bucket storage.
+func (s *Stats) growTiming() {
+	s.BuildTime.Grow(timingGrowTo)
+	s.AnalyzeTime.Grow(timingGrowTo)
 }
 
 // Detector performs true deadlock detection on a network.
@@ -183,7 +234,9 @@ func New(net *network.Network, cfg Config) *Detector {
 	if cfg.Every <= 0 {
 		cfg.Every = 50
 	}
-	return &Detector{cfg: cfg, net: net, r: rng.New(cfg.Seed ^ 0xdeadbeefcafe)}
+	d := &Detector{cfg: cfg, net: net, r: rng.New(cfg.Seed ^ 0xdeadbeefcafe)}
+	d.Stats.growTiming()
+	return d
 }
 
 // NewDefault builds a detector with the paper's defaults: invoke every 50
@@ -200,6 +253,7 @@ func (d *Detector) Config() Config { return d.cfg }
 // boundary).
 func (d *Detector) ResetStats() {
 	d.Stats = Stats{}
+	d.Stats.growTiming()
 	d.Events = d.Events[:0]
 	d.Census = d.Census[:0]
 }
@@ -263,13 +317,17 @@ func (d *Detector) DetectNow() cwg.Analysis {
 	}
 	d.passSeq++
 	d.ownedBuf = d.ownedBuf[:0]
+	t0 := time.Now()
 	g := d.builder.Build(d.Snapshot())
+	t1 := time.Now()
 	an := g.Analyze(cwg.Options{
 		CountKnotCycles:  d.cfg.CountKnotCycles,
 		CountTotalCycles: d.cfg.CycleCensus,
 		MaxCycles:        d.cfg.MaxCycles,
 		MaxWork:          d.cfg.MaxWork,
 	})
+	d.Stats.BuildTime.Observe(int64(t1.Sub(t0)))
+	d.Stats.AnalyzeTime.Observe(int64(time.Since(t1)))
 	d.Stats.Invocations++
 	if d.cfg.CycleCensus {
 		d.Stats.CensusSamples++
@@ -306,6 +364,18 @@ func (d *Detector) DetectNow() cwg.Analysis {
 		}
 		if d.cfg.KeepEvents {
 			d.Events = append(d.Events, Event{Cycle: d.net.Now(), Deadlock: *dl, Victim: victim})
+		}
+		if d.cfg.Observer != nil {
+			obs := Observation{
+				Cycle:    d.net.Now(),
+				Deadlock: dl,
+				Victim:   victim,
+				Policy:   d.cfg.Policy,
+			}
+			if d.cfg.SnapshotDOT {
+				obs.KnotDOT = g.KnotDOT(dl, d.net.VCString)
+			}
+			d.cfg.Observer.ObserveDeadlock(obs)
 		}
 	}
 	d.lastClean = len(an.Deadlocks) == 0

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"strings"
 	"testing"
 
 	"flexsim/internal/cwg"
@@ -258,5 +259,81 @@ func TestSnapshotSkipsResourceless(t *testing.T) {
 	g := cwg.Build(snap)
 	if g.NumVertices() == 0 {
 		t.Fatal("snapshot built empty graph")
+	}
+}
+
+// captureObserver records observations for tests.
+type captureObserver struct {
+	obs []Observation
+	// copies of the per-call deadlock sizes (Deadlock itself must not be
+	// retained past the call).
+	deadlockSets []int
+	dots         []string
+}
+
+func (c *captureObserver) ObserveDeadlock(o Observation) {
+	c.obs = append(c.obs, o)
+	c.deadlockSets = append(c.deadlockSets, len(o.Deadlock.DeadlockSet))
+	c.dots = append(c.dots, o.KnotDOT)
+}
+
+func TestObserverNotified(t *testing.T) {
+	n := ringNet(t)
+	cap := &captureObserver{}
+	d := New(n, Config{Every: 50, Policy: OldestBlocked, Recover: true,
+		CountKnotCycles: true, Observer: cap, SnapshotDOT: true})
+	d.DetectNow()
+	if len(cap.obs) != 1 {
+		t.Fatalf("observer called %d times, want 1", len(cap.obs))
+	}
+	o := cap.obs[0]
+	if o.Victim < 0 {
+		t.Error("recovery enabled but no victim reported")
+	}
+	if o.Policy != OldestBlocked {
+		t.Errorf("policy = %v", o.Policy)
+	}
+	if cap.deadlockSets[0] != 4 {
+		t.Errorf("deadlock set size = %d, want 4", cap.deadlockSets[0])
+	}
+	if !strings.Contains(cap.dots[0], "digraph knot") {
+		t.Errorf("KnotDOT not captured: %q", cap.dots[0])
+	}
+}
+
+func TestObserverVictimWithoutRecovery(t *testing.T) {
+	n := ringNet(t)
+	cap := &captureObserver{}
+	d := New(n, Config{Every: 50, Recover: false, Observer: cap})
+	d.DetectNow()
+	if len(cap.obs) != 1 {
+		t.Fatalf("observer called %d times, want 1", len(cap.obs))
+	}
+	if cap.obs[0].Victim != -1 {
+		t.Errorf("victim = %d, want -1 with recovery off", cap.obs[0].Victim)
+	}
+	if cap.obs[0].KnotDOT != "" {
+		t.Error("KnotDOT rendered without SnapshotDOT")
+	}
+}
+
+func TestPassTimingRecorded(t *testing.T) {
+	n := ringNet(t)
+	d := New(n, Config{Every: 50, Recover: false})
+	d.DetectNow()
+	if d.Stats.BuildTime.Count() != 1 || d.Stats.AnalyzeTime.Count() != 1 {
+		t.Fatalf("timing counts = %d/%d, want 1/1",
+			d.Stats.BuildTime.Count(), d.Stats.AnalyzeTime.Count())
+	}
+	// Gated pass: nothing is rebuilt, so nothing is timed. The ring is
+	// deadlocked so the gate never engages here; use ResetStats+gate test
+	// indirectly: just assert reset clears and re-grows.
+	d.ResetStats()
+	if d.Stats.BuildTime.Count() != 0 {
+		t.Error("ResetStats did not clear timing")
+	}
+	d.DetectNow()
+	if d.Stats.BuildTime.Count() != 1 {
+		t.Error("timing not recorded after reset")
 	}
 }

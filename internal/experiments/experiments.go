@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"flexsim/internal/core"
+	"flexsim/internal/obs"
 	"flexsim/internal/stats"
 )
 
@@ -32,6 +33,14 @@ type Options struct {
 	Seed uint64
 	// Loads overrides the default load sweep.
 	Loads []float64
+	// OnRun, if non-nil, is called as each simulation run completes (from
+	// worker goroutines — must be concurrency-safe). charsweep uses it to
+	// feed its live progress view.
+	OnRun func()
+	// MetricsEvery/MetricsSink enable interval metrics on every run of the
+	// experiment (see sim.Config); the sink must be concurrency-safe.
+	MetricsEvery int
+	MetricsSink  obs.RunSink
 }
 
 // base returns the starting configuration for the options.
@@ -45,7 +54,27 @@ func (o Options) base() core.Config {
 	if o.Seed != 0 {
 		c.Seed = o.Seed
 	}
+	c.MetricsEvery = o.MetricsEvery
+	c.MetricsSink = o.MetricsSink
 	return c
+}
+
+// notify adapts OnRun to the core per-point callback shape.
+func (o Options) notify() func(int, core.Point) {
+	if o.OnRun == nil {
+		return nil
+	}
+	return func(int, core.Point) { o.OnRun() }
+}
+
+// runAll executes every configuration with the option's parallelism and
+// progress notification, failing on the first per-run error.
+func (o Options) runAll(cfgs []core.Config) ([]core.Point, error) {
+	pts := core.RunAllNotify(cfgs, o.Parallelism, o.notify())
+	if err := core.FirstError(pts); err != nil {
+		return nil, err
+	}
+	return pts, nil
 }
 
 // loads returns the load sweep for the options.
@@ -110,7 +139,7 @@ func Names() []string {
 // sweep runs base over the option's loads and returns the points, failing
 // on the first per-point error.
 func sweep(o Options, base core.Config) ([]core.Point, error) {
-	pts := core.LoadSweep(base, o.loads(), o.Parallelism)
+	pts := core.LoadSweepNotify(base, o.loads(), o.Parallelism, o.notify())
 	if err := core.FirstError(pts); err != nil {
 		return nil, err
 	}
@@ -383,8 +412,8 @@ func TrafficPatterns(o Options) ([]*stats.Table, error) {
 			cfgs = append(cfgs, c)
 		}
 	}
-	pts := core.RunAll(cfgs, o.Parallelism)
-	if err := core.FirstError(pts); err != nil {
+	pts, err := o.runAll(cfgs)
+	if err != nil {
 		return nil, err
 	}
 	for i, p := range pts {
@@ -401,7 +430,8 @@ func TrafficPatterns(o Options) ([]*stats.Table, error) {
 // vertical lines encode.
 func Performance(o Options) ([]*stats.Table, error) {
 	t := stats.NewTable("Supplementary: throughput/latency vs load",
-		"config", "load", "throughput", "offered", "latency", "lat_p95", "lat_p99", "pct_blocked", "sat")
+		"config", "load", "throughput", "offered", "latency", "lat_p95", "lat_p99", "pct_blocked",
+		"det_build_us", "det_analyze_us", "sat")
 	for _, spec := range []struct {
 		alg string
 		vcs int
@@ -418,7 +448,9 @@ func Performance(o Options) ([]*stats.Table, error) {
 			r := p.Result
 			t.AddRow(c.Label, r.Load, r.Throughput(), r.OfferedRate(), r.MeanLatency(),
 				r.Latency.Quantile(0.95), r.Latency.Quantile(0.99),
-				100*r.BlockedFraction(), r.Saturated)
+				100*r.BlockedFraction(),
+				r.DetectBuildTime.Mean()/1e3, r.DetectAnalyzeTime.Mean()/1e3,
+				r.Saturated)
 		}
 	}
 	t.AddNote("expected shape: DOR sustains higher post-saturation throughput than TFAR1 despite more (smaller) deadlocks")
@@ -459,8 +491,8 @@ func Ablations(o Options) ([]*stats.Table, error) {
 		c.Label = fmt.Sprintf("drain=%d", rate)
 		cfgs = append(cfgs, c)
 	}
-	pts := core.RunAll(cfgs, o.Parallelism)
-	if err := core.FirstError(pts); err != nil {
+	pts, err := o.runAll(cfgs)
+	if err != nil {
 		return nil, err
 	}
 	for i, p := range pts {

@@ -34,8 +34,8 @@ func HybridLength(o Options) ([]*stats.Table, error) {
 			cfgs = append(cfgs, c)
 		}
 	}
-	pts := core.RunAll(cfgs, o.Parallelism)
-	if err := core.FirstError(pts); err != nil {
+	pts, err := o.runAll(cfgs)
+	if err != nil {
 		return nil, err
 	}
 	for i, p := range pts {

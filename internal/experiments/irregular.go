@@ -43,8 +43,8 @@ func IrregularStudy(o Options) ([]*stats.Table, error) {
 			}
 		}
 	}
-	pts := core.RunAll(cfgs, o.Parallelism)
-	if err := core.FirstError(pts); err != nil {
+	pts, err := o.runAll(cfgs)
+	if err != nil {
 		return nil, err
 	}
 	for i, p := range pts {

@@ -38,8 +38,8 @@ func MeshStudy(o Options) ([]*stats.Table, error) {
 			labels = append(labels, s)
 		}
 	}
-	pts := core.RunAll(cfgs, o.Parallelism)
-	if err := core.FirstError(pts); err != nil {
+	pts, err := o.runAll(cfgs)
+	if err != nil {
 		return nil, err
 	}
 	for i, p := range pts {

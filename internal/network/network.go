@@ -288,6 +288,10 @@ func (n *Network) QueuedCount() int { return n.queued }
 // blocked during the last cycle's allocation phase.
 func (n *Network) BlockedCount() int { return n.blocked }
 
+// TotalInjected returns the number of messages injected since construction
+// (a monotonic counter, unlike the measurement-windowed stats.Result).
+func (n *Network) TotalInjected() int64 { return int64(n.nextID) }
+
 // FlitsInNetwork returns the number of flits currently held in edge buffers.
 func (n *Network) FlitsInNetwork() int64 {
 	return n.InjectedFlits - n.DeliveredFlits - n.AbsorbedFlits

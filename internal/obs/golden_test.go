@@ -1,0 +1,98 @@
+package obs_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flexsim/internal/obs"
+	"flexsim/internal/sim"
+	"flexsim/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRun executes the canonical deadlocking observability run — quick
+// config at saturating load with interval metrics, an incident log fed by a
+// trace ring, and DOT snapshots — and returns the rendered CSV and JSONL.
+func goldenRun(t *testing.T) (metricsCSV, incidentsJSONL string) {
+	t.Helper()
+	ring := &trace.Ring{Cap: 64}
+	log := &obs.IncidentLog{LastEvents: ring, MaxEvents: 4}
+	var csv strings.Builder
+	sink := obs.NewCSVSink(&csv)
+
+	c := sim.Quick()
+	c.Load = 1.0 // drive the quick config past saturation so deadlocks form
+	c.Tracer = ring
+	c.MetricsEvery = 100
+	c.MetricsSink = sink
+	c.Incidents = log
+	c.IncidentDOT = true
+	res, err := sim.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocks == 0 {
+		t.Fatal("golden run detected no deadlocks; incidents would be empty")
+	}
+	var jsonl strings.Builder
+	if err := log.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	return csv.String(), jsonl.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden; run with -update and review the diff", name)
+	}
+}
+
+// TestGoldenArtifacts pins the exported metrics and incident schemas: a
+// deterministic deadlocking run must reproduce the golden CSV and JSONL
+// byte-for-byte (no wall-clock leaks into either format).
+func TestGoldenArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-config run")
+	}
+	metricsCSV, incidentsJSONL := goldenRun(t)
+	if !strings.Contains(metricsCSV, "\n") || incidentsJSONL == "" {
+		t.Fatalf("empty artifacts: %d byte CSV, %d byte JSONL", len(metricsCSV), len(incidentsJSONL))
+	}
+	checkGolden(t, "metrics.golden.csv", metricsCSV)
+	checkGolden(t, "incidents.golden.jsonl", incidentsJSONL)
+}
+
+// TestGoldenRunDeterministic re-executes the golden run and requires
+// identical artifacts — the recorder and incident log must be pure
+// functions of the seed.
+func TestGoldenRunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full quick-config runs")
+	}
+	csv1, jsonl1 := goldenRun(t)
+	csv2, jsonl2 := goldenRun(t)
+	if csv1 != csv2 {
+		t.Error("metrics CSV differs between identical runs")
+	}
+	if jsonl1 != jsonl2 {
+		t.Error("incidents JSONL differs between identical runs")
+	}
+}

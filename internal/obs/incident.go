@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"flexsim/internal/detect"
+	"flexsim/internal/message"
+	"flexsim/internal/trace"
+)
+
+// Incident is the post-mortem record of one detected deadlock: everything
+// the paper characterizes about a deadlock, plus the recovery outcome and
+// the trailing trace context, as one JSONL-serializable artifact.
+type Incident struct {
+	// Seq numbers incidents within a run, in detection order.
+	Seq int `json:"seq"`
+	// Cycle is the detection cycle.
+	Cycle int64 `json:"cycle"`
+	// Kind is "single-cycle" or "multi-cycle".
+	Kind string `json:"kind"`
+	// DeadlockSet/ResourceSet/KnotVCs/Dependent are the characterized set
+	// sizes (messages, owned VCs, knot VCs, dependent messages).
+	DeadlockSet int `json:"deadlock_set"`
+	ResourceSet int `json:"resource_set"`
+	KnotVCs     int `json:"knot_vcs"`
+	Dependent   int `json:"dependent"`
+	// KnotCycles is the knot cycle density (CyclesCapped marks a capped
+	// enumeration).
+	KnotCycles   int  `json:"knot_cycles"`
+	CyclesCapped bool `json:"cycles_capped,omitempty"`
+	// Victim is the message chosen for recovery (-1 = none), Policy the
+	// victim policy in force.
+	Victim int64  `json:"victim"`
+	Policy string `json:"policy"`
+	// RecoveredCycle is the cycle the victim finished draining, and
+	// DrainCycles the recovery duration; both -1 while recovery is
+	// pending (or disabled).
+	RecoveredCycle int64 `json:"recovered_cycle"`
+	DrainCycles    int64 `json:"drain_cycles"`
+	// Events holds the last trace events preceding detection (requires a
+	// trace.Ring wired as both the network tracer and LastEvents).
+	Events []trace.Event `json:"events,omitempty"`
+	// KnotDOT is the knot subgraph in Graphviz format (when the detector
+	// is configured with SnapshotDOT).
+	KnotDOT string `json:"knot_dot,omitempty"`
+}
+
+// IncidentLog captures an Incident per detected deadlock. Wire it as the
+// detector's Observer (sim does this automatically) and, to measure drain
+// durations, notify RecoveryDone when victims finish draining. The log is
+// owned by one run and is not safe for concurrent use.
+type IncidentLog struct {
+	// LastEvents, if non-nil, is a trace ring whose most recent events are
+	// copied into each incident. Install the same ring as the network's
+	// tracer to give every deadlock a replayable context.
+	LastEvents *trace.Ring
+	// MaxEvents caps the events copied per incident (0 = 16).
+	MaxEvents int
+
+	incidents []Incident
+	open      map[message.ID]int // victim id -> incident index, drain pending
+}
+
+// ObserveDeadlock implements detect.Observer.
+func (l *IncidentLog) ObserveDeadlock(o detect.Observation) {
+	inc := Incident{
+		Seq:            len(l.incidents),
+		Cycle:          o.Cycle,
+		Kind:           o.Deadlock.Kind.String(),
+		DeadlockSet:    len(o.Deadlock.DeadlockSet),
+		ResourceSet:    len(o.Deadlock.ResourceSet),
+		KnotVCs:        len(o.Deadlock.KnotVCs),
+		Dependent:      len(o.Deadlock.Dependent),
+		KnotCycles:     o.Deadlock.KnotCycles,
+		CyclesCapped:   o.Deadlock.CyclesCapped,
+		Victim:         int64(o.Victim),
+		Policy:         o.Policy.String(),
+		RecoveredCycle: -1,
+		DrainCycles:    -1,
+		KnotDOT:        o.KnotDOT,
+	}
+	if l.LastEvents != nil {
+		events := l.LastEvents.Events()
+		max := l.MaxEvents
+		if max <= 0 {
+			max = 16
+		}
+		if len(events) > max {
+			events = events[len(events)-max:]
+		}
+		inc.Events = append([]trace.Event(nil), events...)
+	}
+	if o.Victim >= 0 {
+		if l.open == nil {
+			l.open = make(map[message.ID]int)
+		}
+		l.open[o.Victim] = len(l.incidents)
+	}
+	l.incidents = append(l.incidents, inc)
+}
+
+// RecoveryDone records that a victim finished draining at cycle, completing
+// its incident's drain-duration fields.
+func (l *IncidentLog) RecoveryDone(victim message.ID, cycle int64) {
+	i, ok := l.open[victim]
+	if !ok {
+		return
+	}
+	delete(l.open, victim)
+	inc := &l.incidents[i]
+	inc.RecoveredCycle = cycle
+	inc.DrainCycles = cycle - inc.Cycle
+}
+
+// Len returns the number of captured incidents.
+func (l *IncidentLog) Len() int { return len(l.incidents) }
+
+// Incidents returns the captured incidents, in detection order. The slice
+// is owned by the log.
+func (l *IncidentLog) Incidents() []Incident { return l.incidents }
+
+// WriteJSONL writes one JSON object per incident.
+func (l *IncidentLog) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range l.incidents {
+		if err := enc.Encode(&l.incidents[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Recorder accumulates interval samples in a columnar buffer (one slice per
+// gauge) — compact, cache-friendly, and append-only, so a multi-hour sweep
+// run records millions of samples without per-sample allocation beyond
+// amortized slice growth. A Recorder belongs to one run and is not safe for
+// concurrent use; cross-run aggregation happens in a RunSink.
+type Recorder struct {
+	// Every is the sampling period in cycles.
+	Every int
+
+	cycle       []int64
+	active      []int32
+	blocked     []int32
+	queued      []int32
+	flits       []int64
+	delivered   []int64
+	recovered   []int64
+	generated   []int64
+	deadlocks   []int64
+	invocations []int64
+	gated       []int64
+}
+
+// DefaultEvery is the sampling cadence used when a caller enables metrics
+// without choosing one.
+const DefaultEvery = 100
+
+// NewRecorder returns a recorder sampling every `every` cycles (<= 0 uses
+// DefaultEvery).
+func NewRecorder(every int) *Recorder {
+	if every <= 0 {
+		every = DefaultEvery
+	}
+	return &Recorder{Every: every}
+}
+
+// Record appends one sample.
+func (r *Recorder) Record(g Gauges) {
+	r.cycle = append(r.cycle, g.Cycle)
+	r.active = append(r.active, int32(g.Active))
+	r.blocked = append(r.blocked, int32(g.Blocked))
+	r.queued = append(r.queued, int32(g.Queued))
+	r.flits = append(r.flits, g.Flits)
+	r.delivered = append(r.delivered, g.Delivered)
+	r.recovered = append(r.recovered, g.Recovered)
+	r.generated = append(r.generated, g.Generated)
+	r.deadlocks = append(r.deadlocks, g.Deadlocks)
+	r.invocations = append(r.invocations, g.Invocations)
+	r.gated = append(r.gated, g.Gated)
+}
+
+// Len returns the number of recorded samples.
+func (r *Recorder) Len() int { return len(r.cycle) }
+
+// At returns sample i.
+func (r *Recorder) At(i int) Gauges {
+	return Gauges{
+		Cycle:       r.cycle[i],
+		Active:      int(r.active[i]),
+		Blocked:     int(r.blocked[i]),
+		Queued:      int(r.queued[i]),
+		Flits:       r.flits[i],
+		Delivered:   r.delivered[i],
+		Recovered:   r.recovered[i],
+		Generated:   r.generated[i],
+		Deadlocks:   r.deadlocks[i],
+		Invocations: r.invocations[i],
+		Gated:       r.gated[i],
+	}
+}
+
+// RunMeta identifies the run a recorded series belongs to.
+type RunMeta struct {
+	Label string
+	Seed  uint64
+	Load  float64
+}
+
+// RunSink receives a finished run's recorded series. Implementations must
+// be safe for concurrent use (sweeps flush many runs from worker
+// goroutines) and must keep I/O errors sticky rather than failing the run.
+type RunSink interface {
+	Run(meta RunMeta, rec *Recorder)
+}
+
+// metricsColumns is the stable schema of the exported series; changing it
+// is a breaking change for downstream tooling (golden-file tested).
+var metricsColumns = []string{
+	"label", "seed", "load", "cycle", "active", "blocked", "queued",
+	"flits", "delivered", "recovered", "generated",
+	"deadlocks", "invocations", "gated",
+}
+
+// CSVSink writes every flushed run as CSV rows under a single header.
+type CSVSink struct {
+	mu          sync.Mutex
+	w           io.Writer
+	err         error
+	wroteHeader bool
+}
+
+// NewCSVSink returns a CSV sink writing to w.
+func NewCSVSink(w io.Writer) *CSVSink { return &CSVSink{w: w} }
+
+// Run implements RunSink.
+func (s *CSVSink) Run(meta RunMeta, rec *Recorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	var b strings.Builder
+	if !s.wroteHeader {
+		b.WriteString(strings.Join(metricsColumns, ","))
+		b.WriteByte('\n')
+		s.wroteHeader = true
+	}
+	for i := 0; i < rec.Len(); i++ {
+		g := rec.At(i)
+		fmt.Fprintf(&b, "%s,%d,%g,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			csvEscape(meta.Label), meta.Seed, meta.Load, g.Cycle,
+			g.Active, g.Blocked, g.Queued, g.Flits,
+			g.Delivered, g.Recovered, g.Generated,
+			g.Deadlocks, g.Invocations, g.Gated)
+	}
+	_, s.err = io.WriteString(s.w, b.String())
+}
+
+// Err returns the first write error, if any.
+func (s *CSVSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// csvEscape quotes a label containing CSV metacharacters (RFC 4180).
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// JSONLSink writes every flushed run as one JSON object per sample.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJSONLSink returns a JSONL sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Run implements RunSink.
+func (s *JSONLSink) Run(meta RunMeta, rec *Recorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	var b strings.Builder
+	for i := 0; i < rec.Len(); i++ {
+		g := rec.At(i)
+		fmt.Fprintf(&b, `{"label":%q,"seed":%d,"load":%g,"cycle":%d,"active":%d,"blocked":%d,"queued":%d,"flits":%d,"delivered":%d,"recovered":%d,"generated":%d,"deadlocks":%d,"invocations":%d,"gated":%d}`,
+			meta.Label, meta.Seed, meta.Load, g.Cycle,
+			g.Active, g.Blocked, g.Queued, g.Flits,
+			g.Delivered, g.Recovered, g.Generated,
+			g.Deadlocks, g.Invocations, g.Gated)
+		b.WriteByte('\n')
+	}
+	_, s.err = io.WriteString(s.w, b.String())
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// SinkFor chooses a sink by file extension: ".jsonl"/".json" produce JSONL,
+// anything else CSV. The returned Err func reports the sink's sticky error.
+func SinkFor(path string, w io.Writer) (sink RunSink, errf func() error) {
+	if strings.HasSuffix(path, ".jsonl") || strings.HasSuffix(path, ".json") {
+		s := NewJSONLSink(w)
+		return s, s.Err
+	}
+	s := NewCSVSink(w)
+	return s, s.Err
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server exposes live run state over HTTP while a simulation or sweep is
+// running:
+//
+//	/metrics  Prometheus text exposition (live gauges + sweep counters)
+//	/healthz  liveness probe ("ok")
+//	/progress JSON sweep-progress view (404 when no sweep is attached)
+//
+// Either source may be nil; the server renders whatever is attached. The
+// listener binds synchronously (so a bad address fails fast) and handlers
+// run on a background goroutine until Close.
+type Server struct {
+	live  *Live
+	sweep *SweepProgress
+	ln    net.Listener
+	srv   *http.Server
+}
+
+// Serve binds addr (e.g. ":9090" or "127.0.0.1:0") and starts serving.
+func Serve(addr string, live *Live, sweep *SweepProgress) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{live: live, sweep: sweep, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if s.live != nil {
+			if err := s.live.WritePrometheus(w); err != nil {
+				return
+			}
+		}
+		if s.sweep != nil {
+			s.sweep.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		if s.sweep == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		s.sweep.WriteJSON(w)
+	})
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) // returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

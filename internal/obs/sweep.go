@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ExperimentState is a sweep experiment's lifecycle state.
+type ExperimentState string
+
+// Experiment states.
+const (
+	Pending ExperimentState = "pending"
+	Running ExperimentState = "running"
+	Done    ExperimentState = "done"
+	Failed  ExperimentState = "failed"
+)
+
+// ExperimentStatus is one experiment's progress entry.
+type ExperimentStatus struct {
+	ID      string          `json:"id"`
+	State   ExperimentState `json:"state"`
+	Seconds float64         `json:"seconds,omitempty"`
+}
+
+// SweepProgress tracks a charsweep invocation — which experiments are
+// pending/running/done and how many simulation runs have completed — for
+// the /progress endpoint. RunDone is called from simulation worker
+// goroutines; the rest from the sweep's main goroutine.
+type SweepProgress struct {
+	runsDone atomic.Int64
+
+	mu    sync.Mutex
+	order []string
+	exps  map[string]*ExperimentStatus
+}
+
+// NewSweepProgress tracks the given experiment ids.
+func NewSweepProgress(ids []string) *SweepProgress {
+	p := &SweepProgress{exps: make(map[string]*ExperimentStatus, len(ids))}
+	for _, id := range ids {
+		p.order = append(p.order, id)
+		p.exps[id] = &ExperimentStatus{ID: id, State: Pending}
+	}
+	return p
+}
+
+// RunDone counts one completed simulation run (concurrency-safe).
+func (p *SweepProgress) RunDone() { p.runsDone.Add(1) }
+
+// RunsDone returns the number of completed simulation runs.
+func (p *SweepProgress) RunsDone() int64 { return p.runsDone.Load() }
+
+// Start marks an experiment as running.
+func (p *SweepProgress) Start(id string) { p.setState(id, Running, 0) }
+
+// Finish marks an experiment as done with its wall time.
+func (p *SweepProgress) Finish(id string, d time.Duration) { p.setState(id, Done, d) }
+
+// Fail marks an experiment as failed.
+func (p *SweepProgress) Fail(id string) { p.setState(id, Failed, 0) }
+
+func (p *SweepProgress) setState(id string, s ExperimentState, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.exps[id]
+	if !ok {
+		e = &ExperimentStatus{ID: id}
+		p.order = append(p.order, id)
+		p.exps[id] = e
+	}
+	e.State = s
+	if d > 0 {
+		e.Seconds = d.Seconds()
+	}
+}
+
+// snapshot copies the current progress under the lock.
+func (p *SweepProgress) snapshot() (exps []ExperimentStatus, done int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, id := range p.order {
+		e := p.exps[id]
+		exps = append(exps, *e)
+		if e.State == Done {
+			done++
+		}
+	}
+	return exps, done
+}
+
+// WriteJSON renders the progress view.
+func (p *SweepProgress) WriteJSON(w io.Writer) error {
+	exps, done := p.snapshot()
+	return json.NewEncoder(w).Encode(struct {
+		Experiments     []ExperimentStatus `json:"experiments"`
+		ExperimentsDone int                `json:"experiments_done"`
+		Total           int                `json:"experiments_total"`
+		RunsDone        int64              `json:"runs_done"`
+	}{exps, done, len(exps), p.RunsDone()})
+}
+
+// WritePrometheus renders sweep counters in Prometheus text format.
+func (p *SweepProgress) WritePrometheus(w io.Writer) error {
+	exps, done := p.snapshot()
+	_, err := fmt.Fprintf(w,
+		"# HELP flexsim_sweep_experiments_total Experiments in this sweep.\n# TYPE flexsim_sweep_experiments_total gauge\nflexsim_sweep_experiments_total %d\n"+
+			"# HELP flexsim_sweep_experiments_done Experiments completed.\n# TYPE flexsim_sweep_experiments_done gauge\nflexsim_sweep_experiments_done %d\n"+
+			"# HELP flexsim_sweep_runs_done_total Simulation runs completed.\n# TYPE flexsim_sweep_runs_done_total counter\nflexsim_sweep_runs_done_total %d\n",
+		len(exps), done, p.RunsDone())
+	return err
+}

@@ -1,0 +1,52 @@
+package sim
+
+import "testing"
+
+// saturationRunner builds a runner, starts measurement, then forges the
+// generated count and source-queue growth the heuristic reads.
+func saturationRunner(t *testing.T, generated int64, queueGrowth int) *Runner {
+	t.Helper()
+	r, err := NewRunner(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.StartMeasurement()
+	r.res.Generated = generated
+	for i := 0; i < queueGrowth; i++ {
+		r.Net.Inject(0, 1, 1)
+	}
+	return r
+}
+
+// TestSaturationHeuristic pins the Finish saturation rule: queue growth
+// across the measurement window must exceed max(Generated/20, 8).
+func TestSaturationHeuristic(t *testing.T) {
+	cases := []struct {
+		name        string
+		generated   int64
+		queueGrowth int
+		want        bool
+	}{
+		// Zero generated: the floor of 8 governs; growth == 8 is not
+		// saturated (strict >), 9 is.
+		{"zero-generated at floor", 0, 8, false},
+		{"zero-generated above floor", 0, 9, true},
+		// 5% of 1000 = 50: growth at exactly the threshold is borderline
+		// not saturated.
+		{"borderline at threshold", 1000, 50, false},
+		{"clearly saturated", 1000, 200, true},
+		// Large runs: the 5% term dominates the floor.
+		{"large run below threshold", 10000, 100, false},
+		{"large run above threshold", 10000, 501, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := saturationRunner(t, tc.generated, tc.queueGrowth)
+			res := r.Finish()
+			if res.Saturated != tc.want {
+				t.Errorf("Generated=%d growth=%d: Saturated = %v, want %v",
+					tc.generated, tc.queueGrowth, res.Saturated, tc.want)
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"flexsim/internal/detect"
 	"flexsim/internal/message"
 	"flexsim/internal/network"
+	"flexsim/internal/obs"
 	"flexsim/internal/rng"
 	"flexsim/internal/routing"
 	"flexsim/internal/stats"
@@ -99,6 +100,21 @@ type Config struct {
 	// network (see the trace package).
 	Tracer trace.Tracer
 
+	// Observability (see the obs package). All hooks are optional and
+	// nil-guarded; when unset the cycle loop is identical to a run without
+	// them. MetricsEvery > 0 (or a non-nil MetricsLive) samples interval
+	// gauges every MetricsEvery cycles (0 with MetricsLive set = the obs
+	// default cadence) into a Recorder, flushed to MetricsSink at Finish.
+	// MetricsLive additionally mirrors each sample into atomics for a live
+	// /metrics endpoint. Incidents wires a deadlock post-mortem log as the
+	// detector's observer; IncidentDOT adds a knot-subgraph DOT snapshot to
+	// each incident.
+	MetricsEvery int
+	MetricsSink  obs.RunSink
+	MetricsLive  *obs.Live
+	Incidents    *obs.IncidentLog
+	IncidentDOT  bool
+
 	// Label for result tables; defaults to "<routing><vcs>".
 	Label string
 }
@@ -150,6 +166,7 @@ type Runner struct {
 	Workload workload.Driver // nil for open-loop traffic
 
 	res       stats.Result
+	rec       *obs.Recorder
 	measuring bool
 	sumAct    int64
 	sumBlk    int64
@@ -211,7 +228,7 @@ func NewRunner(c Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	det := detect.New(net, detect.Config{
+	dcfg := detect.Config{
 		Every:             c.DetectEvery,
 		Policy:            policy,
 		Recover:           c.Recover,
@@ -222,7 +239,14 @@ func NewRunner(c Config) (*Runner, error) {
 		KeepEvents:        c.KeepEvents,
 		Seed:              c.Seed,
 		TimeoutThresholds: c.TimeoutThresholds,
-	})
+	}
+	// The nil check must be on the concrete type: assigning a nil
+	// *IncidentLog to the Observer interface would make it non-nil.
+	if c.Incidents != nil {
+		dcfg.Observer = c.Incidents
+		dcfg.SnapshotDOT = c.IncidentDOT
+	}
+	det := detect.New(net, dcfg)
 	r := &Runner{
 		Cfg:      c,
 		Topo:     topo,
@@ -249,6 +273,9 @@ func NewRunner(c Config) (*Runner, error) {
 		}
 		r.Workload = drv
 	}
+	if c.MetricsEvery > 0 || c.MetricsLive != nil {
+		r.rec = obs.NewRecorder(c.MetricsEvery)
+	}
 	net.OnDeliver = r.onDeliver
 	r.res = stats.Result{
 		Label:      c.label(),
@@ -263,6 +290,9 @@ func NewRunner(c Config) (*Runner, error) {
 func (r *Runner) onDeliver(m *message.Message) {
 	if r.Workload != nil {
 		r.Workload.Delivered(m)
+	}
+	if r.Cfg.Incidents != nil && m.Status == message.Recovered {
+		r.Cfg.Incidents.RecoveryDone(m.ID, r.Net.Now())
 	}
 	if !r.measuring {
 		return
@@ -304,6 +334,9 @@ func (r *Runner) StepCycle() {
 	}
 	r.Net.Step()
 	r.Detector.Tick()
+	if r.rec != nil && r.Net.Now()%int64(r.rec.Every) == 0 {
+		r.sampleMetrics()
+	}
 	if r.measuring {
 		act := r.Net.ActiveCount()
 		r.sumAct += int64(act)
@@ -314,6 +347,29 @@ func (r *Runner) StepCycle() {
 		if act > r.res.PeakActive {
 			r.res.PeakActive = act
 		}
+	}
+}
+
+// sampleMetrics records one interval sample, mirroring it into the live
+// view when one is attached. Called on the recorder cadence, never on the
+// bare hot path.
+func (r *Runner) sampleMetrics() {
+	g := obs.Gauges{
+		Cycle:       r.Net.Now(),
+		Active:      r.Net.ActiveCount(),
+		Blocked:     r.Net.BlockedCount(),
+		Queued:      r.Net.QueuedCount(),
+		Flits:       r.Net.FlitsInNetwork(),
+		Delivered:   r.Net.DeliveredCount,
+		Recovered:   r.Net.RecoveredCount,
+		Generated:   r.Net.TotalInjected(),
+		Deadlocks:   r.Detector.Stats.Deadlocks,
+		Invocations: r.Detector.Stats.Invocations,
+		Gated:       r.Detector.Stats.Gated,
+	}
+	r.rec.Record(g)
+	if r.Cfg.MetricsLive != nil {
+		r.Cfg.MetricsLive.Store(g)
 	}
 }
 
@@ -375,6 +431,8 @@ func (r *Runner) Finish() *stats.Result {
 	res.CensusCapped = s.CensusCapped
 	res.Invocations = s.Invocations
 	res.GatedInvocations = s.Gated
+	res.DetectBuildTime.Merge(&s.BuildTime)
+	res.DetectAnalyzeTime.Merge(&s.AnalyzeTime)
 	// A run is saturated when the offered load exceeds what the network
 	// sustains: source queues grow across the measurement window. The
 	// threshold (5% of offered messages, at least 8) tolerates pipeline
@@ -386,6 +444,9 @@ func (r *Runner) Finish() *stats.Result {
 		threshold = 8
 	}
 	res.Saturated = growth > threshold
+	if r.rec != nil && r.Cfg.MetricsSink != nil {
+		r.Cfg.MetricsSink.Run(obs.RunMeta{Label: res.Label, Seed: r.Cfg.Seed, Load: res.Load}, r.rec)
+	}
 	return res
 }
 

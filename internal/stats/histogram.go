@@ -60,6 +60,21 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// Grow pre-allocates bucket storage to cover samples up to max, so
+// subsequent Observe calls for values <= max perform no heap allocation
+// (hot-path instrumentation, e.g. detector pass timing).
+func (h *Histogram) Grow(max int64) {
+	if max < 0 {
+		return
+	}
+	b := bucketOf(max)
+	if b >= len(h.counts) {
+		grown := make([]int64, b+16)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+}
+
 // Count returns the number of samples.
 func (h *Histogram) Count() int64 { return h.total }
 

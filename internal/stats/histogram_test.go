@@ -132,3 +132,23 @@ func TestHistogramString(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramGrowPreventsAllocation(t *testing.T) {
+	var h Histogram
+	h.Grow(1e9)
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Observe(723456789)
+		h.Observe(12)
+	})
+	if allocs != 0 {
+		t.Errorf("Observe after Grow allocated %.1f times per run", allocs)
+	}
+	if h.Count() == 0 || h.Max() != 723456789 {
+		t.Errorf("unexpected state after observes: %s", h.String())
+	}
+	h.Grow(-1) // no-op
+	h.Grow(5)  // smaller than current capacity: no-op
+	if got := h.Quantile(1); got < 600000000 {
+		t.Errorf("max quantile collapsed after Grow: %d", got)
+	}
+}

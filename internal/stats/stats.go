@@ -71,6 +71,12 @@ type Result struct {
 	// unchanged CWG).
 	Invocations      int64
 	GatedInvocations int64
+
+	// Detector timing over full (non-gated) passes, in nanoseconds:
+	// CWG snapshot+build versus knot analysis. Wall-clock, so values vary
+	// run to run even at a fixed seed.
+	DetectBuildTime   Histogram
+	DetectAnalyzeTime Histogram
 }
 
 // NormalizedDeadlocks returns deadlocks per message delivered (the paper's
@@ -198,7 +204,9 @@ func (t *Table) AddNote(format string, args ...interface{}) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
-// WriteText renders the table with aligned columns.
+// WriteText renders the table with aligned columns. Ragged rows are
+// tolerated: rows wider than the header grow extra (unheaded) columns, rows
+// narrower leave trailing columns empty.
 func (t *Table) WriteText(w io.Writer) error {
 	widths := make([]int, len(t.Headers))
 	for i, h := range t.Headers {
@@ -206,7 +214,10 @@ func (t *Table) WriteText(w io.Writer) error {
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			for i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -220,7 +231,11 @@ func (t *Table) WriteText(w io.Writer) error {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", width, c)
 		}
 		b.WriteByte('\n')
 	}

@@ -120,3 +120,32 @@ func TestTableFloatFormatting(t *testing.T) {
 		t.Errorf("float32 cell = %q", tbl.Rows[1][0])
 	}
 }
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := NewTable("ragged", "a", "b")
+	tbl.AddRow("only-one")
+	tbl.AddRow(1, 2, "beyond-header", "and-another")
+	tbl.AddRow("x", "y")
+	var b strings.Builder
+	if err := tbl.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"only-one", "beyond-header", "and-another"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ragged text output missing %q:\n%s", want, out)
+		}
+	}
+
+	b.Reset()
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	csv := b.String()
+	if !strings.Contains(csv, "1,2,beyond-header,and-another") {
+		t.Errorf("ragged CSV row wrong:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("ragged CSV header wrong:\n%s", csv)
+	}
+}

@@ -1,0 +1,96 @@
+package trace
+
+// JSON encoding of trace events: one object per event, with the kind as its
+// stable string name and optional fields (vc, node) omitted when absent, so
+// trace streams feed the same line-oriented tooling as the observability
+// layer's metrics and incident JSONL (jq, log shippers, DataFrames).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"flexsim/internal/message"
+)
+
+// KindByName maps a stable kind name (as produced by Kind.String) back to
+// its Kind.
+func KindByName(name string) (Kind, bool) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// eventJSON is the wire form of an Event.
+type eventJSON struct {
+	Cycle int64  `json:"cycle"`
+	Kind  string `json:"kind"`
+	Msg   int64  `json:"msg"`
+	VC    *int32 `json:"vc,omitempty"`
+	Node  *int   `json:"node,omitempty"`
+}
+
+// MarshalJSON encodes the event with its kind name; vc and node are omitted
+// when not applicable (NoVC / negative node).
+func (e Event) MarshalJSON() ([]byte, error) {
+	j := eventJSON{Cycle: e.Cycle, Kind: e.Kind.String(), Msg: int64(e.Msg)}
+	if e.VC != message.NoVC {
+		vc := int32(e.VC)
+		j.VC = &vc
+	}
+	if e.Node >= 0 {
+		node := e.Node
+		j.Node = &node
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes an event produced by MarshalJSON; absent vc/node
+// restore their sentinels (NoVC, -1).
+func (e *Event) UnmarshalJSON(b []byte) error {
+	var j eventJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	k, ok := KindByName(j.Kind)
+	if !ok {
+		return fmt.Errorf("trace: unknown event kind %q", j.Kind)
+	}
+	e.Cycle = j.Cycle
+	e.Kind = k
+	e.Msg = message.ID(j.Msg)
+	e.VC = message.NoVC
+	if j.VC != nil {
+		e.VC = message.VC(*j.VC)
+	}
+	e.Node = -1
+	if j.Node != nil {
+		e.Node = *j.Node
+	}
+	return nil
+}
+
+// JSONWriter streams events to w as JSONL, one object per line. Errors are
+// sticky and reported by Err (the cycle loop cannot fail on I/O).
+type JSONWriter struct {
+	W   io.Writer
+	err error
+	enc *json.Encoder
+}
+
+// Trace implements Tracer.
+func (t *JSONWriter) Trace(e Event) {
+	if t.err != nil {
+		return
+	}
+	if t.enc == nil {
+		t.enc = json.NewEncoder(t.W)
+	}
+	t.err = t.enc.Encode(e)
+}
+
+// Err returns the first write error, if any.
+func (t *JSONWriter) Err() error { return t.err }

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flexsim/internal/message"
+)
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	events := []Event{
+		{Cycle: 0, Kind: Queued, Msg: 0, VC: message.NoVC, Node: 3},
+		{Cycle: 17, Kind: Injected, Msg: 4, VC: 129, Node: 1},
+		{Cycle: 999, Kind: Allocated, Msg: 12, VC: 0, Node: 0},
+		{Cycle: 1000, Kind: Blocked, Msg: 12, VC: message.NoVC, Node: 7},
+		{Cycle: 1050, Kind: Unblocked, Msg: 12, VC: 8, Node: 7},
+		{Cycle: 2000, Kind: Delivered, Msg: 12, VC: message.NoVC, Node: 5},
+		{Cycle: 2100, Kind: RecoveryStart, Msg: 13, VC: message.NoVC, Node: -1},
+		{Cycle: 2132, Kind: RecoveryDone, Msg: 13, VC: message.NoVC, Node: -1},
+	}
+	for _, e := range events {
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", e, err)
+		}
+		var got Event
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if got != e {
+			t.Errorf("round trip changed event: %v -> %s -> %v", e, b, got)
+		}
+	}
+}
+
+func TestEventJSONOmitsSentinels(t *testing.T) {
+	b, err := json.Marshal(Event{Cycle: 1, Kind: Blocked, Msg: 2, VC: message.NoVC, Node: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	if strings.Contains(s, "vc") || strings.Contains(s, "node") {
+		t.Errorf("sentinel fields not omitted: %s", s)
+	}
+	if !strings.Contains(s, `"kind":"blocked"`) {
+		t.Errorf("kind not serialized by name: %s", s)
+	}
+}
+
+func TestEventJSONUnknownKind(t *testing.T) {
+	var e Event
+	if err := json.Unmarshal([]byte(`{"cycle":1,"kind":"warp-drive","msg":2}`), &e); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestKindByNameCoversAllKinds(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Errorf("KindByName(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := KindByName("nope"); ok {
+		t.Error("KindByName accepted an unknown name")
+	}
+}
+
+func TestJSONWriter(t *testing.T) {
+	var b strings.Builder
+	w := &JSONWriter{W: &b}
+	w.Trace(Event{Cycle: 5, Kind: Queued, Msg: 1, VC: message.NoVC, Node: 0})
+	w.Trace(Event{Cycle: 6, Kind: Injected, Msg: 1, VC: 42, Node: 0})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), b.String())
+	}
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Errorf("line %d not valid JSON: %q: %v", i, line, err)
+		}
+	}
+}
+
+func TestJSONWriterStickyError(t *testing.T) {
+	w := &JSONWriter{W: failWriter{}} // failWriter from trace_test.go
+	w.Trace(Event{Kind: Queued, VC: message.NoVC, Node: -1})
+	if w.Err() == nil {
+		t.Fatal("expected sticky error")
+	}
+	w.Trace(Event{Kind: Delivered, VC: message.NoVC, Node: -1}) // must not panic or reset
+	if w.Err() == nil {
+		t.Fatal("error not sticky")
+	}
+}
