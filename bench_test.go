@@ -7,6 +7,7 @@
 package flexsim_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -457,7 +458,7 @@ func BenchmarkLoadSweepParallel(b *testing.B) {
 	loads := core.Loads(0.2, 1.0, 0.2)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		pts := core.LoadSweep(cfg, loads, 0)
+		pts := core.LoadSweep(context.Background(), cfg, loads)
 		if err := core.FirstError(pts); err != nil {
 			b.Fatal(err)
 		}

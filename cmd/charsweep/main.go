@@ -4,15 +4,25 @@
 //	charsweep -experiment all -quick      # everything, scaled down
 //	charsweep -experiment fig7 -csv       # CSV output
 //	charsweep -experiment fig5 -quick -cpuprofile cpu.out
+//
+// Sweeps are long batch jobs, so execution is resilient: SIGINT/SIGTERM or
+// -timeout cancels in-flight simulations within one detector period and
+// exits cleanly with the tables completed so far, and -cache-dir persists
+// every finished run so the next invocation (-resume, the default) skips
+// straight past them:
+//
+//	charsweep -experiment all -cache-dir sweep.cache     # interrupt freely
+//	charsweep -experiment all -cache-dir sweep.cache     # resumes, skipping done runs
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
+	"flexsim/cmd/internal/flags"
+	"flexsim/internal/core"
 	"flexsim/internal/experiments"
 	"flexsim/internal/obs"
 	"flexsim/internal/prof"
@@ -24,22 +34,14 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("experiment", "all",
-		"experiment id ("+strings.Join(experiments.Names(), "|")+"|all)")
-	quick := flag.Bool("quick", false, "scaled-down runs (8-ary 2-cube, short windows)")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
-	plot := flag.Bool("plot", false, "render ASCII plots (first numeric column as x, log-y) after each table")
-	par := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-	seed := flag.Uint64("seed", 0, "seed offset (0 = default)")
-	loads := flag.String("loads", "", "comma-separated load override, e.g. 0.2,0.6,1.0")
-	metricsOut := flag.String("metrics-out", "", "write interval metrics for every run to this file (.jsonl/.json = JSONL, else CSV)")
-	metricsEvery := flag.Int("metrics-every", obs.DefaultEvery, "interval metrics sampling period in cycles")
-	httpAddr := flag.String("http", "", "serve /metrics, /healthz and /progress on this address during the sweep")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	sweep := flags.BindSweep(flag.CommandLine)
+	common := flags.BindCommon(flag.CommandLine)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	ctx, cancel := flags.SignalContext(common.Timeout)
+	defer cancel()
+
+	stopProf, err := prof.Start(common.CPUProfile, common.MemProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "charsweep:", err)
 		return 1
@@ -50,39 +52,54 @@ func run() int {
 		}
 	}()
 
-	opts := experiments.Options{Quick: *quick, Parallelism: *par, Seed: *seed}
-	if *loads != "" {
-		for _, f := range strings.Split(*loads, ",") {
-			var l float64
-			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%g", &l); err != nil {
-				fmt.Fprintf(os.Stderr, "charsweep: bad load %q: %v\n", f, err)
-				return 1
-			}
-			opts.Loads = append(opts.Loads, l)
-		}
+	opts, err := sweep.Options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charsweep:", err)
+		return 1
 	}
+	opts.Context = ctx
 
-	ids := []string{*exp}
-	if *exp == "all" {
+	ids := []string{sweep.Experiment}
+	if sweep.Experiment == "all" {
 		ids = experiments.Names()
 	}
 
-	var metricsErr func() error
-	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "charsweep:", err)
-			return 1
-		}
-		defer f.Close()
-		opts.MetricsSink, metricsErr = obs.SinkFor(*metricsOut, f)
-		opts.MetricsEvery = *metricsEvery
+	cache, err := common.OpenCache()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charsweep:", err)
+		return 1
+	}
+	if cache != nil {
+		opts.Cache = cache
+		fmt.Fprintf(os.Stderr, "charsweep: result cache %s (%d completed run(s) on disk)\n",
+			cache.Dir(), cache.Len())
+	}
+
+	sink, sinkClose, err := common.OpenMetricsSink()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charsweep:", err)
+		return 1
+	}
+	if sink != nil {
+		opts.MetricsSink = sink
+		opts.MetricsEvery = common.MetricsEvery
 	}
 	var progress *obs.SweepProgress
-	if *httpAddr != "" {
+	if common.HTTPAddr != "" {
 		progress = obs.NewSweepProgress(ids)
-		opts.OnRun = progress.RunDone
-		srv, err := obs.Serve(*httpAddr, nil, progress)
+		opts.OnPoint = func(p core.Point) {
+			switch p.Status {
+			case core.StatusCached:
+				progress.RunCached()
+			case core.StatusFailed:
+				progress.RunFailed()
+			case core.StatusCancelled:
+				progress.RunCancelled()
+			default:
+				progress.RunDone()
+			}
+		}
+		srv, err := obs.Serve(common.HTTPAddr, nil, progress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "charsweep:", err)
 			return 1
@@ -91,11 +108,21 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "charsweep: serving /progress on http://%s\n", srv.Addr())
 	}
 
+	interrupted := false
 	for _, id := range ids {
 		f, err := experiments.ByName(id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "charsweep:", err)
 			return 1
+		}
+		if ctx.Err() != nil {
+			// The sweep was cancelled; mark the remaining experiments
+			// rather than starting them.
+			if progress != nil {
+				progress.Cancel(id)
+			}
+			interrupted = true
+			continue
 		}
 		start := time.Now()
 		if progress != nil {
@@ -103,6 +130,15 @@ func run() int {
 		}
 		tables, err := f(opts)
 		if err != nil {
+			if ctx.Err() != nil {
+				if progress != nil {
+					progress.Cancel(id)
+				}
+				fmt.Fprintf(os.Stderr, "charsweep: %s interrupted after %v\n",
+					id, time.Since(start).Round(time.Millisecond))
+				interrupted = true
+				continue
+			}
 			if progress != nil {
 				progress.Fail(id)
 			}
@@ -113,7 +149,7 @@ func run() int {
 			progress.Finish(id, time.Since(start))
 		}
 		for _, t := range tables {
-			if *csv {
+			if sweep.CSV {
 				if err := t.WriteCSV(os.Stdout); err != nil {
 					fmt.Fprintln(os.Stderr, "charsweep:", err)
 					return 1
@@ -125,7 +161,7 @@ func run() int {
 				fmt.Fprintln(os.Stderr, "charsweep:", err)
 				return 1
 			}
-			if *plot {
+			if sweep.Plot {
 				if cols := t.NumericColumns(); len(cols) >= 2 {
 					p, err := stats.PlotTable(t, cols[0], cols[1:], true)
 					if err == nil {
@@ -136,11 +172,26 @@ func run() int {
 		}
 		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
 	}
-	if metricsErr != nil {
-		if err := metricsErr(); err != nil {
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "charsweep: cache: %d hits, %d misses (%d run(s) now on disk)\n",
+			cache.Hits(), cache.Misses(), cache.Len())
+		if err := cache.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "charsweep:", err)
 			return 1
 		}
+	}
+	if sinkClose != nil {
+		if err := sinkClose(); err != nil {
+			fmt.Fprintln(os.Stderr, "charsweep:", err)
+			return 1
+		}
+	}
+	if interrupted {
+		what := "re-run"
+		if cache != nil {
+			what = "re-run with -cache-dir " + cache.Dir()
+		}
+		fmt.Fprintf(os.Stderr, "charsweep: sweep interrupted; %s to resume from completed runs\n", what)
 	}
 	return 0
 }

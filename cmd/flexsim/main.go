@@ -5,7 +5,11 @@
 //
 //	flexsim -k 16 -n 2 -routing dor -vcs 1 -load 0.6
 //
-// Pass -cpuprofile/-memprofile to capture pprof profiles of the run.
+// The run is resilient: SIGINT/SIGTERM or -timeout stops the cycle loop
+// within one detector period and prints the partial characterization, and
+// -cache-dir/-resume serve a previously completed identical configuration
+// from the content-addressed result cache instead of re-running it. Pass
+// -cpuprofile/-memprofile to capture pprof profiles of the run.
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"flexsim/cmd/internal/flags"
 	"flexsim/internal/core"
 	"flexsim/internal/obs"
 	"flexsim/internal/prof"
@@ -25,54 +30,22 @@ func main() {
 
 func run() int {
 	cfg := core.DefaultConfig()
-	flag.IntVar(&cfg.K, "k", cfg.K, "radix (nodes per dimension)")
-	flag.IntVar(&cfg.N, "n", cfg.N, "dimensions")
-	uni := flag.Bool("uni", false, "unidirectional channels (default bidirectional)")
-	flag.BoolVar(&cfg.Mesh, "mesh", false, "mesh (no wraparound links) instead of torus")
-	flag.IntVar(&cfg.IrregularNodes, "irregular", 0, "random irregular switch network with this many nodes (0 = torus/mesh)")
-	flag.IntVar(&cfg.IrregularLinks, "irregular-links", 0, "extra links beyond the irregular network's spanning tree")
-	flag.IntVar(&cfg.VCs, "vcs", cfg.VCs, "virtual channels per physical channel")
-	flag.IntVar(&cfg.BufferDepth, "buf", cfg.BufferDepth, "edge buffer depth in flits")
-	flag.IntVar(&cfg.MsgLen, "msglen", cfg.MsgLen, "message length in flits")
-	flag.StringVar(&cfg.Routing, "routing", cfg.Routing, "routing algorithm (dor|tfar|dateline-dor|duato-far|misroute-far)")
-	flag.StringVar(&cfg.Traffic, "traffic", cfg.Traffic, "traffic pattern (uniform|bitrev|transpose|shuffle|hotspot|tornado|neighbor)")
-	flag.Float64Var(&cfg.HotspotFrac, "hotfrac", cfg.HotspotFrac, "hot-spot traffic fraction")
-	flag.Float64Var(&cfg.Load, "load", cfg.Load, "normalized offered load (1.0 = capacity)")
-	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
-	flag.IntVar(&cfg.WarmupCycles, "warmup", cfg.WarmupCycles, "warmup cycles")
-	flag.IntVar(&cfg.MeasureCycles, "cycles", cfg.MeasureCycles, "measured cycles")
-	flag.IntVar(&cfg.DetectEvery, "detect-every", cfg.DetectEvery, "deadlock detector period in cycles")
-	flag.StringVar(&cfg.VictimPolicy, "victim", cfg.VictimPolicy, "recovery victim policy (oldest|most|fewest|random)")
-	census := flag.Bool("census", false, "count resource dependency cycles each detector invocation")
-	traceLast := flag.Int("trace-last", 0, "print the last N message lifecycle events after the run")
-	flag.StringVar(&cfg.Workload, "workload", "", "program-driven workload instead of open-loop traffic (stencil|allreduce)")
-	flag.IntVar(&cfg.WorkloadPhases, "phases", 0, "workload phases/rounds (default 10)")
-	flag.IntVar(&cfg.ComputeDelay, "compute", 0, "compute cycles between workload phases")
-	norecover := flag.Bool("no-recover", false, "detect but do not break deadlocks")
-	check := flag.Bool("check", false, "enable per-cycle invariant checking (slow)")
-	metricsOut := flag.String("metrics-out", "", "write interval metrics to this file (.jsonl/.json = JSONL, else CSV)")
-	metricsEvery := flag.Int("metrics-every", obs.DefaultEvery, "interval metrics sampling period in cycles")
-	incidentsOut := flag.String("incidents-out", "", "write per-deadlock incident post-mortems to this file as JSONL")
-	incidentsDOT := flag.Bool("incidents-dot", false, "include a Graphviz knot-subgraph snapshot in each incident")
-	traceJSON := flag.String("trace-json", "", "stream message lifecycle events to this file as JSONL")
-	httpAddr := flag.String("http", "", "serve /metrics (Prometheus) and /healthz on this address during the run")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	extras := flags.BindConfig(flag.CommandLine, &cfg)
+	common := flags.BindCommon(flag.CommandLine)
 	flag.Parse()
+	extras.Apply(&cfg)
 
-	cfg.Bidirectional = !*uni
-	cfg.CycleCensus = *census
-	cfg.Recover = !*norecover
-	cfg.CheckInvariants = *check
+	ctx, cancel := flags.SignalContext(common.Timeout)
+	defer cancel()
 
 	var tracers trace.Multi
 	var ring *trace.Ring
-	if *traceLast > 0 {
-		ring = &trace.Ring{Cap: *traceLast}
+	if extras.TraceLast > 0 {
+		ring = &trace.Ring{Cap: extras.TraceLast}
 		tracers = append(tracers, ring)
 	}
 	var incidents *obs.IncidentLog
-	if *incidentsOut != "" {
+	if extras.IncidentsOut != "" {
 		if ring == nil {
 			// Give post-mortems event context even without -trace-last.
 			ring = &trace.Ring{Cap: 256}
@@ -80,11 +53,11 @@ func run() int {
 		}
 		incidents = &obs.IncidentLog{LastEvents: ring}
 		cfg.Incidents = incidents
-		cfg.IncidentDOT = *incidentsDOT
+		cfg.IncidentDOT = extras.IncidentsDOT
 	}
 	var jsonTrace *trace.JSONWriter
-	if *traceJSON != "" {
-		f, err := os.Create(*traceJSON)
+	if extras.TraceJSON != "" {
+		f, err := os.Create(extras.TraceJSON)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "flexsim:", err)
 			return 1
@@ -101,24 +74,22 @@ func run() int {
 		cfg.Tracer = tracers
 	}
 
-	var metricsErr func() error
-	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "flexsim:", err)
-			return 1
-		}
-		defer f.Close()
-		cfg.MetricsSink, metricsErr = obs.SinkFor(*metricsOut, f)
-		cfg.MetricsEvery = *metricsEvery
+	sink, sinkClose, err := common.OpenMetricsSink()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexsim:", err)
+		return 1
 	}
-	if *httpAddr != "" {
+	if sink != nil {
+		cfg.MetricsSink = sink
+		cfg.MetricsEvery = common.MetricsEvery
+	}
+	if common.HTTPAddr != "" {
 		live := &obs.Live{}
 		cfg.MetricsLive = live
 		if cfg.MetricsEvery == 0 {
-			cfg.MetricsEvery = *metricsEvery
+			cfg.MetricsEvery = common.MetricsEvery
 		}
-		srv, err := obs.Serve(*httpAddr, live, nil)
+		srv, err := obs.Serve(common.HTTPAddr, live, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "flexsim:", err)
 			return 1
@@ -127,7 +98,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "flexsim: serving /metrics on http://%s\n", srv.Addr())
 	}
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	stopProf, err := prof.Start(common.CPUProfile, common.MemProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flexsim:", err)
 		return 1
@@ -138,10 +109,37 @@ func run() int {
 		}
 	}()
 
-	res, err := core.Run(cfg)
+	cache, err := common.OpenCache()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flexsim:", err)
 		return 1
+	}
+
+	// One engine for both paths: the single run goes through the same
+	// resilient scheduler the sweeps use, so cancellation, panic isolation
+	// and the result cache behave identically everywhere.
+	var runOpts []core.Option
+	if cache != nil {
+		runOpts = append(runOpts, core.WithCache(cache))
+	}
+	p := core.RunAll(ctx, []core.Config{cfg}, runOpts...)[0]
+	if cache != nil {
+		if err := cache.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "flexsim:", err)
+		}
+	}
+	res := p.Result
+	if res == nil {
+		fmt.Fprintln(os.Stderr, "flexsim:", p.Err)
+		return 1
+	}
+	switch {
+	case p.Status == core.StatusCached:
+		fmt.Fprintf(os.Stderr, "flexsim: result served from cache %s (key %s...)\n",
+			cache.Dir(), core.CacheKey(cfg)[:12])
+	case res.Interrupted:
+		fmt.Fprintf(os.Stderr, "flexsim: interrupted — partial results over %d measured cycles\n",
+			res.Cycles)
 	}
 
 	fmt.Printf("network:            %d-ary %d-cube, bidirectional=%v, %d VC(s), buffer=%d flits\n",
@@ -179,14 +177,14 @@ func run() int {
 		fmt.Printf("cycle census:       mean %.1f cycles per check, max %d%s\n",
 			res.MeanCensusCycles(), res.MaxCycles, capped)
 	}
-	if ring != nil && *traceLast > 0 {
+	if ring != nil && extras.TraceLast > 0 {
 		fmt.Printf("last %d of %d lifecycle events:\n", len(ring.Events()), ring.Total())
 		for _, ev := range ring.Events() {
 			fmt.Println(" ", ev)
 		}
 	}
 	if incidents != nil {
-		f, err := os.Create(*incidentsOut)
+		f, err := os.Create(extras.IncidentsOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "flexsim:", err)
 			return 1
@@ -199,10 +197,10 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "flexsim:", werr)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "flexsim: wrote %d incident(s) to %s\n", incidents.Len(), *incidentsOut)
+		fmt.Fprintf(os.Stderr, "flexsim: wrote %d incident(s) to %s\n", incidents.Len(), extras.IncidentsOut)
 	}
-	if metricsErr != nil {
-		if err := metricsErr(); err != nil {
+	if sinkClose != nil {
+		if err := sinkClose(); err != nil {
 			fmt.Fprintln(os.Stderr, "flexsim:", err)
 			return 1
 		}

@@ -1,0 +1,147 @@
+package flags
+
+import (
+	"context"
+	"flag"
+	"io"
+	"testing"
+	"time"
+
+	"flexsim/internal/sim"
+)
+
+// TestBindFlexsimSurface registers the full flexsim flag surface on one
+// FlagSet — a duplicate name anywhere in the tables would panic here — and
+// checks that parsing lands in the right places.
+func TestBindFlexsimSurface(t *testing.T) {
+	fs := flag.NewFlagSet("flexsim", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	cfg := sim.Default()
+	x := BindConfig(fs, &cfg)
+	v := BindCommon(fs)
+
+	err := fs.Parse([]string{
+		"-k", "8", "-vcs", "3", "-routing", "dor", "-load", "0.9",
+		"-uni", "-no-recover", "-census",
+		"-timeout", "90s", "-cache-dir", "/tmp/c", "-resume=false",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.Apply(&cfg)
+
+	if cfg.K != 8 || cfg.VCs != 3 || cfg.Routing != "dor" || cfg.Load != 0.9 {
+		t.Errorf("config flags misbound: %+v", cfg)
+	}
+	if cfg.Bidirectional || cfg.Recover || !cfg.CycleCensus {
+		t.Errorf("inverted extras misapplied: Bidirectional=%v Recover=%v Census=%v",
+			cfg.Bidirectional, cfg.Recover, cfg.CycleCensus)
+	}
+	if v.Timeout != 90*time.Second || v.CacheDir != "/tmp/c" || v.Resume {
+		t.Errorf("common flags misbound: %+v", v)
+	}
+}
+
+// TestBindCharsweepSurface does the same for the charsweep surface.
+func TestBindCharsweepSurface(t *testing.T) {
+	fs := flag.NewFlagSet("charsweep", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	s := BindSweep(fs)
+	v := BindCommon(fs)
+
+	err := fs.Parse([]string{
+		"-experiment", "fig5", "-quick", "-loads", "0.2, 0.6,1.0",
+		"-parallel", "4", "-timeout", "1m",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Experiment != "fig5" || !s.Quick || s.Parallel != 4 {
+		t.Errorf("sweep flags misbound: %+v", s)
+	}
+	if !v.Resume {
+		t.Errorf("resume must default to true")
+	}
+	opts, err := s.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts.Loads) != 3 || opts.Loads[0] != 0.2 || opts.Loads[2] != 1.0 {
+		t.Errorf("loads parsed as %v", opts.Loads)
+	}
+	if !opts.Quick || opts.Parallelism != 4 {
+		t.Errorf("options miswired: %+v", opts)
+	}
+	if v.Timeout != time.Minute {
+		t.Errorf("timeout = %v", v.Timeout)
+	}
+}
+
+func TestSweepOptionsBadLoads(t *testing.T) {
+	s := &Sweep{Loads: "0.2,nope"}
+	if _, err := s.Options(); err == nil {
+		t.Fatal("bad -loads accepted")
+	}
+}
+
+// TestSignalContextTimeout: -timeout produces a context that expires; the
+// cancel function releases the signal handler.
+func TestSignalContextTimeout(t *testing.T) {
+	ctx, cancel := SignalContext(time.Millisecond)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout context never expired")
+	}
+	if ctx.Err() != context.DeadlineExceeded {
+		t.Errorf("err = %v, want deadline exceeded", ctx.Err())
+	}
+}
+
+// TestOpenCacheDisabled: no -cache-dir means no cache, not an error.
+func TestOpenCacheDisabled(t *testing.T) {
+	v := &Values{}
+	c, err := v.OpenCache()
+	if err != nil || c != nil {
+		t.Fatalf("OpenCache() = %v, %v; want nil, nil", c, err)
+	}
+}
+
+// TestOpenCacheResumeFalse: -resume=false opens the cache but ignores the
+// persisted index.
+func TestOpenCacheResumeFalse(t *testing.T) {
+	dir := t.TempDir()
+	v := &Values{CacheDir: dir, Resume: true}
+	c, err := v.OpenCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunContext(context.Background(), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(quickCfg(), res)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	v.Resume = false
+	c, err = v.OpenCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Len() != 0 {
+		t.Errorf("with -resume=false Len() = %d, want 0", c.Len())
+	}
+}
+
+// quickCfg is a sub-second configuration for cache tests.
+func quickCfg() sim.Config {
+	c := sim.Default()
+	c.K = 4
+	c.WarmupCycles = 20
+	c.MeasureCycles = 100
+	return c
+}

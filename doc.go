@@ -4,7 +4,9 @@
 //
 // The library lives under internal/; entry points:
 //
-//   - internal/core: public facade (Config, Run, LoadSweep)
+//   - internal/core: public facade (Config, Run, context-first RunAll/LoadSweep)
+//   - internal/runner: resilient execution engine (cancellation, panic
+//     isolation, content-addressed result caching for resume)
 //   - internal/cwg: channel wait-for graphs and knot-based deadlock theory
 //   - internal/experiments: regenerates every figure of the paper
 //   - cmd/flexsim, cmd/charsweep, cmd/cwgviz: command-line tools

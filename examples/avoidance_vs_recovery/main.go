@@ -13,8 +13,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"flexsim/internal/core"
 )
@@ -35,6 +37,10 @@ func main() {
 		{"avoidance: Duato FAR, 3 VCs", "duato-far", 3},
 	}
 
+	// Context-first execution: Ctrl-C cancels the remaining runs cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	for _, load := range []float64{0.5, 0.9} {
 		table := core.Table{
 			Title: fmt.Sprintf("avoidance vs recovery at load %.1f (8-ary 2-cube, 32-flit messages)", load),
@@ -50,7 +56,7 @@ func main() {
 			cfg.Label = v.label
 			cfgs = append(cfgs, cfg)
 		}
-		points := core.RunAll(cfgs, 0)
+		points := core.RunAll(ctx, cfgs)
 		if err := core.FirstError(points); err != nil {
 			fmt.Fprintln(os.Stderr, "avoidance_vs_recovery:", err)
 			os.Exit(1)

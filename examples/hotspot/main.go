@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -45,7 +46,7 @@ func main() {
 	add("perfect-shuffle", "shuffle", 0)
 	add("tornado", "tornado", 0)
 
-	points := core.RunAll(cfgs, 0)
+	points := core.RunAll(context.Background(), cfgs)
 	if err := core.FirstError(points); err != nil {
 		fmt.Fprintln(os.Stderr, "hotspot:", err)
 		os.Exit(1)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -40,7 +41,7 @@ func main() {
 			metas = append(metas, meta{alg, extra})
 		}
 	}
-	points := core.RunAll(cfgs, 0)
+	points := core.RunAll(context.Background(), cfgs)
 	if err := core.FirstError(points); err != nil {
 		fmt.Fprintln(os.Stderr, "irregular:", err)
 		os.Exit(1)

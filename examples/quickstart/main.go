@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"flexsim/internal/core"
 )
@@ -31,9 +33,13 @@ func main() {
 		res.MeanDeadlockSet(), res.MeanResourceSet(), kind(res))
 
 	// Load sweep, in parallel: deadlocks are rare below saturation and
-	// frequent beyond it.
+	// frequent beyond it. The sweep API is context-first — Ctrl-C stops
+	// in-flight runs within one detector period instead of killing the
+	// process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	loads := core.Loads(0.2, 1.2, 0.2)
-	points := core.LoadSweep(cfg, loads, 0)
+	points := core.LoadSweep(ctx, cfg, loads)
 	if err := core.FirstError(points); err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(1)

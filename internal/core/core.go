@@ -1,8 +1,11 @@
 // Package core is the library's public face: it re-exports the simulation
 // configuration and result types and provides the sweep machinery — running
-// many independent, deterministic simulations in parallel across goroutines
-// — that the paper's experiments, the CLI tools and the examples are built
-// on.
+// many independent, deterministic simulations in parallel — that the
+// paper's experiments, the CLI tools and the examples are built on. The
+// sweep APIs are context-first and delegate to the resilient execution
+// engine in internal/runner: cancellation stops in-flight runs within one
+// detector period, a panicking run fails only its own point, and an
+// attached result cache skips every already-completed configuration.
 //
 // Quickstart:
 //
@@ -12,17 +15,19 @@
 //	res, err := core.Run(cfg)
 //	fmt.Println(res.NormalizedDeadlocks())
 //
-// For a load sweep (one run per offered load, in parallel):
+// For a load sweep (one run per offered load, in parallel, Ctrl-C safe):
 //
-//	points := core.LoadSweep(cfg, core.Loads(0.1, 1.2, 0.1), 0)
+//	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+//	defer stop()
+//	points := core.LoadSweep(ctx, cfg, core.Loads(0.1, 1.2, 0.1))
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
+	"flexsim/internal/runner"
 	"flexsim/internal/sim"
 	"flexsim/internal/stats"
 )
@@ -36,6 +41,30 @@ type Result = stats.Result
 // Table renders experiment output.
 type Table = stats.Table
 
+// Point is one sweep outcome (see runner.Point: Load, Result, Err, Status).
+type Point = runner.Point
+
+// Status classifies how a Point settled.
+type Status = runner.Status
+
+// Point statuses (see runner for semantics).
+const (
+	StatusDone      = runner.Done
+	StatusCached    = runner.Cached
+	StatusFailed    = runner.Failed
+	StatusCancelled = runner.Cancelled
+)
+
+// Cache is the content-addressed result cache (see runner.Cache).
+type Cache = runner.Cache
+
+// OpenCache opens (creating if needed) a result cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) { return runner.Open(dir) }
+
+// CacheKey returns the content address a configuration caches under (the
+// SHA-256 of its canonical encoding; see runner.Key).
+func CacheKey(c Config) string { return runner.Key(c) }
+
 // DefaultConfig returns the paper's default configuration (16-ary 2-cube,
 // bidirectional, 32-flit messages, 2-flit buffers, detector every 50
 // cycles).
@@ -46,6 +75,12 @@ func QuickConfig() Config { return sim.Quick() }
 
 // Run executes one simulation.
 func Run(c Config) (*Result, error) { return sim.Run(c) }
+
+// RunContext executes one simulation under ctx; on cancellation it returns
+// the partial result with Result.Interrupted set (see sim.RunContext).
+func RunContext(ctx context.Context, c Config) (*Result, error) {
+	return sim.RunContext(ctx, c)
+}
 
 // MustRun executes one simulation and panics on configuration error
 // (examples and benchmarks with constant configs).
@@ -67,25 +102,46 @@ func Loads(from, to, step float64) []float64 {
 	return out
 }
 
-// Point is one sweep result.
-type Point struct {
-	Load   float64
-	Result *Result
-	Err    error
+// Option configures a sweep (RunAll / LoadSweep).
+type Option func(*runner.Options)
+
+// WithParallelism bounds concurrent simulations (0 = GOMAXPROCS, the
+// default).
+func WithParallelism(p int) Option {
+	return func(o *runner.Options) { o.Parallelism = p }
 }
 
-// LoadSweep runs base at each offered load, in parallel across up to
-// parallelism goroutines (0 means GOMAXPROCS). Each point derives a
-// deterministic seed from the base seed and its load so results are
-// reproducible regardless of scheduling.
-func LoadSweep(base Config, loads []float64, parallelism int) []Point {
-	return LoadSweepNotify(base, loads, parallelism, nil)
+// WithOnDone installs a per-point completion callback, invoked as each
+// point settles — completed, cached, failed or cancelled — from worker
+// goroutines, so it must be concurrency-safe.
+func WithOnDone(f func(i int, p Point)) Option {
+	return func(o *runner.Options) { o.OnDone = f }
 }
 
-// LoadSweepNotify is LoadSweep with a per-point completion callback; onDone
-// (if non-nil) is called from worker goroutines as each point finishes, so
-// it must be concurrency-safe.
-func LoadSweepNotify(base Config, loads []float64, parallelism int, onDone func(i int, p Point)) []Point {
+// WithCache attaches a content-addressed result cache: configurations with
+// a persisted result settle instantly as StatusCached, and new completions
+// are persisted for the next invocation.
+func WithCache(c *Cache) Option {
+	return func(o *runner.Options) { o.Cache = c }
+}
+
+// RunAll executes every configuration under ctx, in parallel, preserving
+// order. It always returns one Point per configuration; on cancellation,
+// in-flight runs stop within one detector period (partial Result,
+// StatusCancelled) and unstarted ones settle as StatusCancelled with a nil
+// Result.
+func RunAll(ctx context.Context, configs []Config, opts ...Option) []Point {
+	var o runner.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return runner.Map(ctx, configs, o)
+}
+
+// LoadSweep runs base at each offered load under ctx, in parallel. Each
+// point derives a deterministic seed from the base seed and its index so
+// results are reproducible regardless of scheduling.
+func LoadSweep(ctx context.Context, base Config, loads []float64, opts ...Option) []Point {
 	configs := make([]Config, len(loads))
 	for i, l := range loads {
 		c := base
@@ -93,47 +149,7 @@ func LoadSweepNotify(base Config, loads []float64, parallelism int, onDone func(
 		c.Seed = pointSeed(base.Seed, i)
 		configs[i] = c
 	}
-	return RunAllNotify(configs, parallelism, onDone)
-}
-
-// RunAll executes every configuration, in parallel across up to parallelism
-// goroutines (0 means GOMAXPROCS), preserving order.
-func RunAll(configs []Config, parallelism int) []Point {
-	return RunAllNotify(configs, parallelism, nil)
-}
-
-// RunAllNotify is RunAll with a per-run completion callback; onDone (if
-// non-nil) is called from worker goroutines as each run finishes, so it
-// must be concurrency-safe.
-func RunAllNotify(configs []Config, parallelism int, onDone func(i int, p Point)) []Point {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > len(configs) {
-		parallelism = len(configs)
-	}
-	points := make([]Point, len(configs))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				res, err := sim.Run(configs[i])
-				points[i] = Point{Load: configs[i].Load, Result: res, Err: err}
-				if onDone != nil {
-					onDone(i, points[i])
-				}
-			}
-		}()
-	}
-	for i := range configs {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	return points
+	return RunAll(ctx, configs, opts...)
 }
 
 // pointSeed decorrelates per-point seeds (SplitMix64 step).

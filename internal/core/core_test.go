@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -52,8 +53,8 @@ func TestRunAndMustRun(t *testing.T) {
 
 func TestLoadSweepOrderAndDeterminism(t *testing.T) {
 	loads := []float64{0.2, 0.6, 1.0}
-	a := LoadSweep(tiny(), loads, 2)
-	b := LoadSweep(tiny(), loads, 3) // different parallelism, same results
+	a := LoadSweep(context.Background(), tiny(), loads, WithParallelism(2))
+	b := LoadSweep(context.Background(), tiny(), loads, WithParallelism(3)) // different parallelism, same results
 	if err := FirstError(a); err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestLoadSweepOrderAndDeterminism(t *testing.T) {
 }
 
 func TestLoadSweepSeedsDecorrelated(t *testing.T) {
-	pts := LoadSweep(tiny(), []float64{0.5, 0.5}, 1)
+	pts := LoadSweep(context.Background(), tiny(), []float64{0.5, 0.5}, WithParallelism(1))
 	if pts[0].Result.Seed == pts[1].Result.Seed {
 		t.Error("sweep points share a seed")
 	}
@@ -82,7 +83,7 @@ func TestRunAllPropagatesErrors(t *testing.T) {
 	good := tiny()
 	bad := tiny()
 	bad.Routing = "nope"
-	pts := RunAll([]Config{good, bad}, 0)
+	pts := RunAll(context.Background(), []Config{good, bad})
 	if pts[0].Err != nil {
 		t.Errorf("good config errored: %v", pts[0].Err)
 	}
@@ -97,7 +98,7 @@ func TestRunAllPropagatesErrors(t *testing.T) {
 func TestSaturationLoad(t *testing.T) {
 	cfg := tiny()
 	cfg.Routing = "dor"
-	pts := LoadSweep(cfg, []float64{0.1, 1.5}, 0)
+	pts := LoadSweep(context.Background(), cfg, []float64{0.1, 1.5})
 	if err := FirstError(pts); err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -33,10 +34,19 @@ type Options struct {
 	Seed uint64
 	// Loads overrides the default load sweep.
 	Loads []float64
-	// OnRun, if non-nil, is called as each simulation run completes (from
-	// worker goroutines — must be concurrency-safe). charsweep uses it to
-	// feed its live progress view.
-	OnRun func()
+	// Context cancels the experiment's simulation runs (nil = Background).
+	// A cancelled experiment returns an error wrapping the context's; its
+	// completed runs are already persisted when a Cache is attached.
+	Context context.Context
+	// Cache, if non-nil, skips configurations whose results are already
+	// persisted and records new completions (see core.OpenCache) — the
+	// -cache-dir/-resume machinery.
+	Cache *core.Cache
+	// OnPoint, if non-nil, is called as each simulation point settles —
+	// completed, cached, failed or cancelled — from worker goroutines, so
+	// it must be concurrency-safe. charsweep feeds its live progress view
+	// with it.
+	OnPoint func(p core.Point)
 	// MetricsEvery/MetricsSink enable interval metrics on every run of the
 	// experiment (see sim.Config); the sink must be concurrency-safe.
 	MetricsEvery int
@@ -59,22 +69,44 @@ func (o Options) base() core.Config {
 	return c
 }
 
-// notify adapts OnRun to the core per-point callback shape.
-func (o Options) notify() func(int, core.Point) {
-	if o.OnRun == nil {
-		return nil
+// ctx returns the option's context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
 	}
-	return func(int, core.Point) { o.OnRun() }
+	return context.Background()
 }
 
-// runAll executes every configuration with the option's parallelism and
-// progress notification, failing on the first per-run error.
-func (o Options) runAll(cfgs []core.Config) ([]core.Point, error) {
-	pts := core.RunAllNotify(cfgs, o.Parallelism, o.notify())
+// runOpts translates the options into sweep options for the core API.
+func (o Options) runOpts() []core.Option {
+	opts := []core.Option{core.WithParallelism(o.Parallelism)}
+	if o.Cache != nil {
+		opts = append(opts, core.WithCache(o.Cache))
+	}
+	if o.OnPoint != nil {
+		f := o.OnPoint
+		opts = append(opts, core.WithOnDone(func(_ int, p core.Point) { f(p) }))
+	}
+	return opts
+}
+
+// finish distinguishes cancellation from per-run failure: a cancelled
+// context is reported as such (the caller can resume from the cache), and
+// any other per-point error fails the experiment.
+func (o Options) finish(pts []core.Point) ([]core.Point, error) {
+	if err := o.ctx().Err(); err != nil {
+		return nil, fmt.Errorf("experiments: cancelled: %w", err)
+	}
 	if err := core.FirstError(pts); err != nil {
 		return nil, err
 	}
 	return pts, nil
+}
+
+// runAll executes every configuration with the option's parallelism, cache
+// and progress notification, failing on the first per-run error.
+func (o Options) runAll(cfgs []core.Config) ([]core.Point, error) {
+	return o.finish(core.RunAll(o.ctx(), cfgs, o.runOpts()...))
 }
 
 // loads returns the load sweep for the options.
@@ -139,11 +171,7 @@ func Names() []string {
 // sweep runs base over the option's loads and returns the points, failing
 // on the first per-point error.
 func sweep(o Options, base core.Config) ([]core.Point, error) {
-	pts := core.LoadSweepNotify(base, o.loads(), o.Parallelism, o.notify())
-	if err := core.FirstError(pts); err != nil {
-		return nil, err
-	}
-	return pts, nil
+	return o.finish(core.LoadSweep(o.ctx(), base, o.loads(), o.runOpts()...))
 }
 
 // satNote annotates a table with a configuration's saturation load.

@@ -335,3 +335,55 @@ func TestServerBadAddr(t *testing.T) {
 		t.Error("bad address accepted")
 	}
 }
+
+// TestSweepProgressOutcomeCounters: cached, failed and cancelled runs are
+// counted separately from completed ones and surface in both /progress JSON
+// and the Prometheus exposition.
+func TestSweepProgressOutcomeCounters(t *testing.T) {
+	p := NewSweepProgress([]string{"fig5", "fig6"})
+	p.Start("fig5")
+	p.RunDone()
+	p.RunCached()
+	p.RunCached()
+	p.RunFailed()
+	p.RunCancelled()
+	p.RunCancelled()
+	p.RunCancelled()
+	p.Cancel("fig6")
+
+	var b strings.Builder
+	if err := p.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		Experiments   []ExperimentStatus `json:"experiments"`
+		RunsDone      int64              `json:"runs_done"`
+		RunsCached    int64              `json:"runs_cached"`
+		RunsFailed    int64              `json:"runs_failed"`
+		RunsCancelled int64              `json:"runs_cancelled"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.RunsDone != 1 || v.RunsCached != 2 || v.RunsFailed != 1 || v.RunsCancelled != 3 {
+		t.Errorf("run counters = %+v", v)
+	}
+	if v.Experiments[1].State != Cancelled {
+		t.Errorf("fig6 state = %s, want cancelled", v.Experiments[1].State)
+	}
+
+	b.Reset()
+	if err := p.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"flexsim_sweep_runs_done_total 1",
+		"flexsim_sweep_runs_cached_total 2",
+		"flexsim_sweep_runs_failed_total 1",
+		"flexsim_sweep_runs_cancelled_total 3",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, b.String())
+		}
+	}
+}

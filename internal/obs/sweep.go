@@ -14,10 +14,11 @@ type ExperimentState string
 
 // Experiment states.
 const (
-	Pending ExperimentState = "pending"
-	Running ExperimentState = "running"
-	Done    ExperimentState = "done"
-	Failed  ExperimentState = "failed"
+	Pending   ExperimentState = "pending"
+	Running   ExperimentState = "running"
+	Done      ExperimentState = "done"
+	Failed    ExperimentState = "failed"
+	Cancelled ExperimentState = "cancelled"
 )
 
 // ExperimentStatus is one experiment's progress entry.
@@ -28,11 +29,15 @@ type ExperimentStatus struct {
 }
 
 // SweepProgress tracks a charsweep invocation — which experiments are
-// pending/running/done and how many simulation runs have completed — for
-// the /progress endpoint. RunDone is called from simulation worker
-// goroutines; the rest from the sweep's main goroutine.
+// pending/running/done and how many simulation runs have completed, been
+// served from the result cache, failed, or been cancelled — for the
+// /progress endpoint. The per-run counters are called from simulation
+// worker goroutines; the rest from the sweep's main goroutine.
 type SweepProgress struct {
-	runsDone atomic.Int64
+	runsDone      atomic.Int64
+	runsCached    atomic.Int64
+	runsFailed    atomic.Int64
+	runsCancelled atomic.Int64
 
 	mu    sync.Mutex
 	order []string
@@ -52,8 +57,27 @@ func NewSweepProgress(ids []string) *SweepProgress {
 // RunDone counts one completed simulation run (concurrency-safe).
 func (p *SweepProgress) RunDone() { p.runsDone.Add(1) }
 
+// RunCached counts one run served from the result cache.
+func (p *SweepProgress) RunCached() { p.runsCached.Add(1) }
+
+// RunFailed counts one failed run (error or isolated panic).
+func (p *SweepProgress) RunFailed() { p.runsFailed.Add(1) }
+
+// RunCancelled counts one cancelled run (interrupted in-flight or never
+// started).
+func (p *SweepProgress) RunCancelled() { p.runsCancelled.Add(1) }
+
 // RunsDone returns the number of completed simulation runs.
 func (p *SweepProgress) RunsDone() int64 { return p.runsDone.Load() }
+
+// RunsCached returns the number of cache-served runs.
+func (p *SweepProgress) RunsCached() int64 { return p.runsCached.Load() }
+
+// RunsFailed returns the number of failed runs.
+func (p *SweepProgress) RunsFailed() int64 { return p.runsFailed.Load() }
+
+// RunsCancelled returns the number of cancelled runs.
+func (p *SweepProgress) RunsCancelled() int64 { return p.runsCancelled.Load() }
 
 // Start marks an experiment as running.
 func (p *SweepProgress) Start(id string) { p.setState(id, Running, 0) }
@@ -63,6 +87,10 @@ func (p *SweepProgress) Finish(id string, d time.Duration) { p.setState(id, Done
 
 // Fail marks an experiment as failed.
 func (p *SweepProgress) Fail(id string) { p.setState(id, Failed, 0) }
+
+// Cancel marks an experiment as cancelled (sweep interrupted before or
+// while it ran).
+func (p *SweepProgress) Cancel(id string) { p.setState(id, Cancelled, 0) }
 
 func (p *SweepProgress) setState(id string, s ExperimentState, d time.Duration) {
 	p.mu.Lock()
@@ -101,7 +129,10 @@ func (p *SweepProgress) WriteJSON(w io.Writer) error {
 		ExperimentsDone int                `json:"experiments_done"`
 		Total           int                `json:"experiments_total"`
 		RunsDone        int64              `json:"runs_done"`
-	}{exps, done, len(exps), p.RunsDone()})
+		RunsCached      int64              `json:"runs_cached"`
+		RunsFailed      int64              `json:"runs_failed"`
+		RunsCancelled   int64              `json:"runs_cancelled"`
+	}{exps, done, len(exps), p.RunsDone(), p.RunsCached(), p.RunsFailed(), p.RunsCancelled()})
 }
 
 // WritePrometheus renders sweep counters in Prometheus text format.
@@ -110,7 +141,10 @@ func (p *SweepProgress) WritePrometheus(w io.Writer) error {
 	_, err := fmt.Fprintf(w,
 		"# HELP flexsim_sweep_experiments_total Experiments in this sweep.\n# TYPE flexsim_sweep_experiments_total gauge\nflexsim_sweep_experiments_total %d\n"+
 			"# HELP flexsim_sweep_experiments_done Experiments completed.\n# TYPE flexsim_sweep_experiments_done gauge\nflexsim_sweep_experiments_done %d\n"+
-			"# HELP flexsim_sweep_runs_done_total Simulation runs completed.\n# TYPE flexsim_sweep_runs_done_total counter\nflexsim_sweep_runs_done_total %d\n",
-		len(exps), done, p.RunsDone())
+			"# HELP flexsim_sweep_runs_done_total Simulation runs completed.\n# TYPE flexsim_sweep_runs_done_total counter\nflexsim_sweep_runs_done_total %d\n"+
+			"# HELP flexsim_sweep_runs_cached_total Simulation runs served from the result cache.\n# TYPE flexsim_sweep_runs_cached_total counter\nflexsim_sweep_runs_cached_total %d\n"+
+			"# HELP flexsim_sweep_runs_failed_total Simulation runs failed.\n# TYPE flexsim_sweep_runs_failed_total counter\nflexsim_sweep_runs_failed_total %d\n"+
+			"# HELP flexsim_sweep_runs_cancelled_total Simulation runs cancelled.\n# TYPE flexsim_sweep_runs_cancelled_total counter\nflexsim_sweep_runs_cancelled_total %d\n",
+		len(exps), done, p.RunsDone(), p.RunsCached(), p.RunsFailed(), p.RunsCancelled())
 	return err
 }

@@ -1,0 +1,217 @@
+package runner
+
+// Content-addressed result cache. A simulation is deterministic in its
+// configuration, so a completed Result is an artifact worth keeping: the
+// cache keys each run by the SHA-256 of its canonically JSON-encoded
+// sim.Config and persists completed Points as JSONL, letting an interrupted
+// or repeated sweep skip every configuration it has already finished.
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+
+	"flexsim/internal/sim"
+	"flexsim/internal/stats"
+)
+
+// cacheFile is the JSONL file holding one completed Point per line.
+const cacheFile = "results.jsonl"
+
+// nonSemantic names Config fields that never influence the measured Result
+// (observability cadence and rendering switches); they are excluded from
+// the cache key so toggling instrumentation does not invalidate finished
+// runs. Fields of func/interface/pointer kind (Tracer, MetricsSink,
+// MetricsLive, Incidents) are runtime plumbing and are skipped by kind.
+var nonSemantic = map[string]bool{
+	"MetricsEvery": true,
+	"IncidentDOT":  true,
+}
+
+// CanonicalConfig returns the canonical JSON encoding of a configuration:
+// every semantic exported field, keyed by field name, with keys sorted —
+// so the encoding (and hence the cache key) is independent of struct field
+// order but sensitive to every value change.
+func CanonicalConfig(c sim.Config) []byte {
+	v := reflect.ValueOf(c)
+	t := v.Type()
+	m := make(map[string]interface{}, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if nonSemantic[f.Name] {
+			continue
+		}
+		switch f.Type.Kind() {
+		case reflect.Func, reflect.Interface, reflect.Ptr, reflect.Chan:
+			continue
+		}
+		m[f.Name] = v.Field(i).Interface()
+	}
+	b, err := json.Marshal(m) // map keys marshal sorted
+	if err != nil {
+		// Config holds only plain scalars and integer slices; encoding
+		// cannot fail short of a programming error.
+		panic(fmt.Sprintf("runner: canonical config encoding failed: %v", err))
+	}
+	return b
+}
+
+// Key returns the content address of a configuration: the hex SHA-256 of
+// its canonical encoding.
+func Key(c sim.Config) string {
+	sum := sha256.Sum256(CanonicalConfig(c))
+	return hex.EncodeToString(sum[:])
+}
+
+// entry is one persisted line: the config's content address, a small human
+// echo, and the completed Result.
+type entry struct {
+	Key    string          `json:"key"`
+	Label  string          `json:"label,omitempty"`
+	Load   float64         `json:"load,omitempty"`
+	Result json.RawMessage `json:"result"`
+}
+
+// Cache is a concurrency-safe, disk-backed result cache. Open loads every
+// previously persisted Point into memory; Put appends one JSONL line per
+// completed run, so a crash loses at most the line being written (a torn
+// final line is skipped on the next Open).
+type Cache struct {
+	dir  string
+	hits atomic.Int64
+	miss atomic.Int64
+
+	mu      sync.Mutex
+	entries map[string]json.RawMessage
+	f       *os.File
+	err     error // first persistence failure, reported at close
+}
+
+// Open creates dir if needed and loads the persisted results.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: cache dir: %w", err)
+	}
+	c := &Cache{dir: dir, entries: make(map[string]json.RawMessage)}
+	path := filepath.Join(dir, cacheFile)
+	if f, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+		for sc.Scan() {
+			var e entry
+			if json.Unmarshal(sc.Bytes(), &e) != nil || e.Key == "" || len(e.Result) == 0 {
+				continue // torn or foreign line; recompute that run
+			}
+			c.entries[e.Key] = e.Result
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runner: cache read %s: %w", path, err)
+		}
+		f.Close()
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("runner: cache open: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: cache append: %w", err)
+	}
+	c.f = f
+	return c, nil
+}
+
+// Get returns the cached Result for a configuration, counting the lookup
+// as a hit or miss.
+func (c *Cache) Get(cfg sim.Config) (*stats.Result, bool) {
+	key := Key(cfg)
+	c.mu.Lock()
+	raw, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		c.miss.Add(1)
+		return nil, false
+	}
+	var res stats.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		c.miss.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return &res, true
+}
+
+// Put records a completed Result under the configuration's content address
+// and appends it to the JSONL file. Persistence failures never fail the
+// run; the first one is kept and surfaced by Close.
+func (c *Cache) Put(cfg sim.Config, res *stats.Result) {
+	raw, err := json.Marshal(res)
+	if err != nil {
+		c.note(fmt.Errorf("runner: cache encode: %w", err))
+		return
+	}
+	line, err := json.Marshal(entry{Key: Key(cfg), Label: res.Label, Load: res.Load, Result: raw})
+	if err != nil {
+		c.note(fmt.Errorf("runner: cache encode: %w", err))
+		return
+	}
+	line = append(line, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[Key(cfg)] = raw
+	if c.f != nil {
+		if _, err := c.f.Write(line); err != nil && c.err == nil {
+			c.err = fmt.Errorf("runner: cache write: %w", err)
+		}
+	}
+}
+
+func (c *Cache) note(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+// Forget drops the in-memory index so every configuration recomputes (and
+// is re-persisted); the CLIs use it for -resume=false.
+func (c *Cache) Forget() {
+	c.mu.Lock()
+	c.entries = make(map[string]json.RawMessage)
+	c.mu.Unlock()
+}
+
+// Len returns the number of distinct cached configurations.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Hits and Misses count Get outcomes since Open.
+func (c *Cache) Hits() int64   { return c.hits.Load() }
+func (c *Cache) Misses() int64 { return c.miss.Load() }
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Close flushes and closes the persistence file, returning the first
+// persistence error encountered.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f != nil {
+		if err := c.f.Close(); err != nil && c.err == nil {
+			c.err = fmt.Errorf("runner: cache close: %w", err)
+		}
+		c.f = nil
+	}
+	return c.err
+}

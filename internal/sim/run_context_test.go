@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunContextCancelMeasurement: a cancelled context stops the measurement
+// loop at the next detector boundary — exactly one detector period in, since
+// this context is dead from the start — and the partial result covers the
+// cycles actually executed.
+func TestRunContextCancelMeasurement(t *testing.T) {
+	c := tiny()
+	c.WarmupCycles = 0
+	c.MeasureCycles = 100000
+	c.DetectEvery = 50
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("cancelled run not marked Interrupted")
+	}
+	if res.Cycles != 50 {
+		t.Errorf("Cycles = %d, want 50 (one detector period)", res.Cycles)
+	}
+}
+
+// TestRunContextCancelWarmup: cancellation during warmup yields a zero-cycle
+// interrupted result rather than entering measurement.
+func TestRunContextCancelWarmup(t *testing.T) {
+	c := tiny()
+	c.WarmupCycles = 500
+	c.DetectEvery = 50
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("cancelled warmup not marked Interrupted")
+	}
+	if res.Cycles != 0 {
+		t.Errorf("Cycles = %d, want 0 (cancelled before measurement)", res.Cycles)
+	}
+}
+
+// TestRunContextBackground: Run and RunContext(Background) agree — the
+// cancellation hook costs nothing and changes nothing when no deadline or
+// signal is attached.
+func TestRunContextBackground(t *testing.T) {
+	c := tiny()
+	res, err := RunContext(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interrupted {
+		t.Error("uncancelled run marked Interrupted")
+	}
+	if res.Cycles != int64(c.MeasureCycles) {
+		t.Errorf("Cycles = %d, want %d", res.Cycles, c.MeasureCycles)
+	}
+	plain, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Delivered != res.Delivered || plain.Deadlocks != res.Deadlocks {
+		t.Errorf("Run and RunContext(Background) diverged: %+v vs %+v", plain, res)
+	}
+}
+
+// TestRunContextCancelWorkload: the workload loop honors cancellation too.
+func TestRunContextCancelWorkload(t *testing.T) {
+	c := tiny()
+	c.Workload = "stencil"
+	c.WorkloadPhases = 50
+	c.DetectEvery = 50
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("cancelled workload run not marked Interrupted")
+	}
+	if res.Cycles >= int64(c.WarmupCycles+c.MeasureCycles) {
+		t.Errorf("Cycles = %d, want an early stop", res.Cycles)
+	}
+}

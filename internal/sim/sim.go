@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"flexsim/internal/detect"
@@ -376,22 +377,60 @@ func (r *Runner) sampleMetrics() {
 // Run executes warmup then measurement and returns the result. Program-
 // driven runs skip warmup and execute until the program completes (or the
 // WarmupCycles+MeasureCycles safety cap).
-func (r *Runner) Run() *stats.Result {
+func (r *Runner) Run() *stats.Result { return r.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation. The cycle loop polls ctx
+// on the detector cadence (every DetectEvery cycles), so a cancelled context
+// stops the run within one detector period; the loop itself stays free of
+// per-cycle synchronization. On cancellation the run finalizes normally —
+// statistics cover the cycles actually executed, metrics sinks are flushed —
+// and the partial result is returned with Interrupted set.
+func (r *Runner) RunContext(ctx context.Context) *stats.Result {
+	done := ctx.Done() // nil for context.Background(): polling stays free
+	every := r.Cfg.DetectEvery
+	if every <= 0 {
+		every = 1
+	}
+	cancelled := func(cycle int) bool {
+		if done == nil || cycle%every != 0 {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	if r.Workload != nil {
 		r.StartMeasurement()
 		limit := int64(r.Cfg.WarmupCycles + r.Cfg.MeasureCycles)
 		for !r.Workload.Done() && r.Net.Now() < limit {
 			r.StepCycle()
+			if cancelled(int(r.Net.Now())) {
+				r.res.Interrupted = true
+				break
+			}
 		}
 		r.Cfg.MeasureCycles = int(r.Net.Now())
 		return r.Finish()
 	}
 	for i := 0; i < r.Cfg.WarmupCycles; i++ {
 		r.StepCycle()
+		if cancelled(i + 1) {
+			r.res.Interrupted = true
+			r.Cfg.MeasureCycles = 0
+			return r.Finish()
+		}
 	}
 	r.StartMeasurement()
 	for i := 0; i < r.Cfg.MeasureCycles; i++ {
 		r.StepCycle()
+		if cancelled(i + 1) {
+			r.res.Interrupted = true
+			r.Cfg.MeasureCycles = i + 1
+			return r.Finish()
+		}
 	}
 	return r.Finish()
 }
@@ -452,9 +491,15 @@ func (r *Runner) Finish() *stats.Result {
 
 // Run builds and executes one simulation.
 func Run(c Config) (*stats.Result, error) {
+	return RunContext(context.Background(), c)
+}
+
+// RunContext builds and executes one simulation under ctx (see
+// Runner.RunContext for the cancellation semantics).
+func RunContext(ctx context.Context, c Config) (*stats.Result, error) {
 	r, err := NewRunner(c)
 	if err != nil {
 		return nil, err
 	}
-	return r.Run(), nil
+	return r.RunContext(ctx), nil
 }

@@ -7,6 +7,7 @@ package stats
 // derived.
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -134,6 +135,39 @@ func (h *Histogram) Merge(other *Histogram) {
 	if other.max > h.max {
 		h.max = other.max
 	}
+}
+
+// histogramJSON is the wire form of a Histogram (the result cache persists
+// full Results as JSON).
+type histogramJSON struct {
+	Counts []int64 `json:"counts,omitempty"`
+	Total  int64   `json:"total,omitempty"`
+	Sum    int64   `json:"sum,omitempty"`
+	Max    int64   `json:"max,omitempty"`
+}
+
+// MarshalJSON encodes the histogram canonically: trailing empty buckets are
+// trimmed so that Grow pre-allocation never changes the encoding and a
+// decode/re-encode round trip is byte-identical.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	counts := h.counts
+	for len(counts) > 0 && counts[len(counts)-1] == 0 {
+		counts = counts[:len(counts)-1]
+	}
+	return json.Marshal(histogramJSON{Counts: counts, Total: h.total, Sum: h.sum, Max: h.max})
+}
+
+// UnmarshalJSON decodes a histogram previously encoded with MarshalJSON.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	h.counts = w.Counts
+	h.total = w.Total
+	h.sum = w.Sum
+	h.max = w.Max
+	return nil
 }
 
 // String summarizes the distribution.

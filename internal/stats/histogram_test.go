@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -150,5 +151,68 @@ func TestHistogramGrowPreventsAllocation(t *testing.T) {
 	h.Grow(5)  // smaller than current capacity: no-op
 	if got := h.Quantile(1); got < 600000000 {
 		t.Errorf("max quantile collapsed after Grow: %d", got)
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 5, 63, 64, 100, 5000, 123456} {
+		h.Observe(v)
+	}
+	a, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(a, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != h.Count() || back.Mean() != h.Mean() || back.Max() != h.Max() {
+		t.Errorf("round trip lost aggregates: %s vs %s", back.String(), h.String())
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if back.Quantile(q) != h.Quantile(q) {
+			t.Errorf("q%.2f: %d vs %d", q, back.Quantile(q), h.Quantile(q))
+		}
+	}
+	b, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("re-encode not byte-identical:\n a %s\n b %s", a, b)
+	}
+}
+
+// TestHistogramJSONTrimsGrow: Grow pre-allocation must not leak into the
+// encoding — cache keys and resume round trips depend on canonical output.
+func TestHistogramJSONTrimsGrow(t *testing.T) {
+	var a, b Histogram
+	a.Observe(10)
+	b.Grow(1 << 20)
+	b.Observe(10)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Errorf("Grow changed the encoding:\n plain %s\n grown %s", ja, jb)
+	}
+}
+
+func TestHistogramJSONEmpty(t *testing.T) {
+	var h Histogram
+	raw, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != 0 || back.Max() != 0 {
+		t.Errorf("empty round trip: %s", back.String())
+	}
+	back.Observe(3) // must still be usable after decode
+	if back.Count() != 1 {
+		t.Errorf("decoded histogram unusable: %s", back.String())
 	}
 }

@@ -22,6 +22,10 @@ type Result struct {
 	MeanMsgLen float64 // expected message length in flits
 	Seed       uint64
 	Saturated  bool // offered load exceeded sustained delivery (source queues grew)
+	// Interrupted reports that the run was cancelled mid-flight (context
+	// cancellation or timeout). Counters cover only the cycles executed
+	// before the stop, and interrupted results are never cached.
+	Interrupted bool
 
 	// QueuedStart/QueuedEnd are the source-queue backlogs at the
 	// measurement boundaries; sustained growth defines saturation.
