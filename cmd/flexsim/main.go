@@ -34,6 +34,10 @@ func run() int {
 	common := flags.BindCommon(flag.CommandLine)
 	flag.Parse()
 	extras.Apply(&cfg)
+	if err := extras.LoadFaultSchedule(&cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "flexsim:", err)
+		return 1
+	}
 
 	ctx, cancel := flags.SignalContext(common.Timeout)
 	defer cancel()
@@ -168,6 +172,10 @@ func run() int {
 			res.MeanDeadlockSet(), res.MaxDeadlockSet, res.MeanResourceSet(), res.MaxResourceSet)
 		fmt.Printf("knot cycle density: mean %.2f (max %d); dependent msgs mean %.2f per deadlock\n",
 			res.MeanKnotCycles(), res.MaxKnotCycles, res.MeanDependent())
+	}
+	if res.FaultEvents > 0 || res.Killed > 0 {
+		fmt.Printf("faults:             %d events applied, %d active at end; killed %d messages (%.2f%%), %d unroutable\n",
+			res.FaultEvents, res.FaultsActiveEnd, res.Killed, 100*res.KilledFraction(), res.Unroutable)
 	}
 	if res.CensusSamples > 0 {
 		capped := ""

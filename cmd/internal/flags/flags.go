@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"flexsim/internal/experiments"
+	"flexsim/internal/fault"
 	"flexsim/internal/obs"
 	"flexsim/internal/runner"
 	"flexsim/internal/sim"
@@ -79,14 +80,15 @@ func BindCommon(fs *flag.FlagSet) *Values {
 // Extras holds flexsim flags that invert or sit alongside sim.Config
 // fields; Apply folds them in after parsing.
 type Extras struct {
-	Uni          bool
-	Census       bool
-	NoRecover    bool
-	Check        bool
-	TraceLast    int
-	TraceJSON    string
-	IncidentsOut string
-	IncidentsDOT bool
+	Uni           bool
+	Census        bool
+	NoRecover     bool
+	Check         bool
+	TraceLast     int
+	TraceJSON     string
+	IncidentsOut  string
+	IncidentsDOT  bool
+	FaultSchedule string
 }
 
 // configTarget is what the configuration table binds to.
@@ -203,6 +205,59 @@ var ConfigDefs = []Def[configTarget]{
 		func(fs *flag.FlagSet, t configTarget, usage string) {
 			fs.BoolVar(&t.X.IncidentsDOT, "incidents-dot", false, usage)
 		}},
+	{"fault-link-mttf", faultMTTFUsage,
+		func(fs *flag.FlagSet, t configTarget, usage string) {
+			fs.IntVar(&t.C.FaultLinkMTTF, "fault-link-mttf", 0, usage)
+		}},
+	{"fault-repair", faultRepairUsage,
+		func(fs *flag.FlagSet, t configTarget, usage string) {
+			fs.IntVar(&t.C.FaultRepair, "fault-repair", 0, usage)
+		}},
+	{"fault-seed", faultSeedUsage,
+		func(fs *flag.FlagSet, t configTarget, usage string) {
+			fs.Uint64Var(&t.C.FaultSeed, "fault-seed", 0, usage)
+		}},
+	{"fault-schedule", faultScheduleUsage,
+		func(fs *flag.FlagSet, t configTarget, usage string) {
+			fs.StringVar(&t.X.FaultSchedule, "fault-schedule", "", usage)
+		}},
+}
+
+// Fault-injection flag help, shared verbatim by both CLIs.
+const (
+	faultMTTFUsage     = "generate link failures with this mean time-to-failure in cycles (0 = no generated faults)"
+	faultRepairUsage   = "repair failed links after this many cycles (0 = failures are permanent)"
+	faultSeedUsage     = "seed for the generated fault schedule (0 = derive from -seed)"
+	faultScheduleUsage = "inject the fault events in this JSONL schedule file (composable with -fault-link-mttf)"
+)
+
+// LoadFaultSchedule parses the -fault-schedule file (when set) into the
+// configuration's explicit event list.
+func (x *Extras) LoadFaultSchedule(c *sim.Config) error {
+	events, err := ReadFaultSchedule(x.FaultSchedule)
+	if err != nil {
+		return err
+	}
+	c.FaultEvents = append(c.FaultEvents, events...)
+	return nil
+}
+
+// ReadFaultSchedule reads a JSONL fault schedule file; an empty path
+// returns no events.
+func ReadFaultSchedule(path string) ([]fault.Event, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := fault.ReadSchedule(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, nil
 }
 
 // BindConfig registers the configuration table on fs against cfg.
@@ -225,13 +280,17 @@ func (x *Extras) Apply(c *sim.Config) {
 
 // Sweep holds the charsweep-only flags.
 type Sweep struct {
-	Experiment string
-	Quick      bool
-	CSV        bool
-	Plot       bool
-	Parallel   int
-	Seed       uint64
-	Loads      string
+	Experiment    string
+	Quick         bool
+	CSV           bool
+	Plot          bool
+	Parallel      int
+	Seed          uint64
+	Loads         string
+	FaultSeed     uint64
+	FaultLinkMTTF int
+	FaultRepair   int
+	FaultSchedule string
 }
 
 // SweepDefs is the experiment-harness table.
@@ -252,6 +311,18 @@ var SweepDefs = []Def[*Sweep]{
 		func(fs *flag.FlagSet, s *Sweep, usage string) { fs.Uint64Var(&s.Seed, "seed", 0, usage) }},
 	{"loads", "comma-separated load override, e.g. 0.2,0.6,1.0",
 		func(fs *flag.FlagSet, s *Sweep, usage string) { fs.StringVar(&s.Loads, "loads", "", usage) }},
+	{"fault-link-mttf", faultMTTFUsage,
+		func(fs *flag.FlagSet, s *Sweep, usage string) {
+			fs.IntVar(&s.FaultLinkMTTF, "fault-link-mttf", 0, usage)
+		}},
+	{"fault-repair", faultRepairUsage,
+		func(fs *flag.FlagSet, s *Sweep, usage string) { fs.IntVar(&s.FaultRepair, "fault-repair", 0, usage) }},
+	{"fault-seed", faultSeedUsage,
+		func(fs *flag.FlagSet, s *Sweep, usage string) { fs.Uint64Var(&s.FaultSeed, "fault-seed", 0, usage) }},
+	{"fault-schedule", faultScheduleUsage,
+		func(fs *flag.FlagSet, s *Sweep, usage string) {
+			fs.StringVar(&s.FaultSchedule, "fault-schedule", "", usage)
+		}},
 }
 
 // BindSweep registers the experiment-harness table on fs.
@@ -267,7 +338,10 @@ func BindSweep(fs *flag.FlagSet) *Sweep {
 // parsing can fail; the execution-side fields — Context, Cache, OnPoint,
 // metrics — are wired by the caller).
 func (s *Sweep) Options() (experiments.Options, error) {
-	o := experiments.Options{Quick: s.Quick, Parallelism: s.Parallel, Seed: s.Seed}
+	o := experiments.Options{
+		Quick: s.Quick, Parallelism: s.Parallel, Seed: s.Seed,
+		FaultSeed: s.FaultSeed, FaultLinkMTTF: s.FaultLinkMTTF, FaultRepair: s.FaultRepair,
+	}
 	if s.Loads != "" {
 		for _, f := range strings.Split(s.Loads, ",") {
 			var l float64
@@ -277,6 +351,11 @@ func (s *Sweep) Options() (experiments.Options, error) {
 			o.Loads = append(o.Loads, l)
 		}
 	}
+	events, err := ReadFaultSchedule(s.FaultSchedule)
+	if err != nil {
+		return o, err
+	}
+	o.FaultEvents = events
 	return o, nil
 }
 

@@ -1,0 +1,79 @@
+// Faulty: deadlock probability vs failed-link fraction. Sweeps the
+// steady-state fraction of failed links — each fraction realized as a
+// deterministic, seed-generated link-failure/repair schedule — and
+// measures, over several replicates, how often the degraded network
+// deadlocks, how much traffic the faults kill, and what unroutability
+// costs. The healthy row (fraction 0) is the baseline: adaptive routing's
+// path diversity keeps it out of knots at this load; failures consume that
+// diversity, and the deadlock probability climbs with the failed fraction.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"flexsim/internal/core"
+)
+
+func main() {
+	const (
+		replicates = 5
+		repair     = 500 // cycles a failed link stays down
+		load       = 0.8
+	)
+	fractions := []float64{0, 0.02, 0.05, 0.10, 0.20}
+
+	var cfgs []core.Config
+	for _, f := range fractions {
+		for r := 0; r < replicates; r++ {
+			cfg := core.QuickConfig()
+			cfg.Routing = "tfar"
+			cfg.VCs = 2
+			cfg.Load = load
+			cfg.Seed = uint64(r + 1)
+			cfg.Label = fmt.Sprintf("f=%.2f r%d", f, r)
+			if f > 0 {
+				// Steady-state failed fraction f = repair/(mttf+repair).
+				cfg.FaultLinkMTTF = int(float64(repair) * (1 - f) / f)
+				cfg.FaultRepair = repair
+				cfg.FaultSeed = uint64(1000 + r)
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+
+	points := core.RunAll(context.Background(), cfgs)
+	if err := core.FirstError(points); err != nil {
+		fmt.Fprintln(os.Stderr, "faulty:", err)
+		os.Exit(1)
+	}
+
+	table := core.Table{
+		Title: fmt.Sprintf("deadlock probability vs failed-link fraction (TFAR/2VC, load %.2g, repair %d)",
+			load, repair),
+		Headers: []string{"failed_frac", "p_deadlock", "ndl", "killed_frac", "unroutable", "latency"},
+	}
+	for i, f := range fractions {
+		var deadlocked int
+		var ndl, killed, unroutable, latency float64
+		for r := 0; r < replicates; r++ {
+			res := points[i*replicates+r].Result
+			if res.Deadlocks > 0 {
+				deadlocked++
+			}
+			ndl += res.NormalizedDeadlocks()
+			killed += res.KilledFraction()
+			unroutable += float64(res.Unroutable)
+			latency += res.MeanLatency()
+		}
+		n := float64(replicates)
+		table.AddRow(f, float64(deadlocked)/n, ndl/n, killed/n, unroutable/n, latency/n)
+	}
+	table.AddNote("each fraction = %d replicates with independent seeds and generated fault schedules", replicates)
+	table.AddNote("schedules are deterministic: same seeds reproduce this table byte-for-byte")
+	if err := table.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "faulty:", err)
+		os.Exit(1)
+	}
+}

@@ -8,6 +8,7 @@ package detect
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"flexsim/internal/cwg"
@@ -35,9 +36,14 @@ const (
 	RandomVictim
 )
 
-// ParsePolicy maps a name to a VictimPolicy.
+// PolicyNames lists the accepted ParsePolicy names, in parse order.
+var PolicyNames = []string{"oldest", "most", "fewest", "random"}
+
+// ParsePolicy maps a name to a VictimPolicy. Matching is case-insensitive
+// and tolerates surrounding whitespace; the empty string selects the
+// default (OldestBlocked). Unknown names error, listing the valid policies.
 func ParsePolicy(name string) (VictimPolicy, error) {
-	switch name {
+	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "", "oldest":
 		return OldestBlocked, nil
 	case "most":
@@ -47,7 +53,8 @@ func ParsePolicy(name string) (VictimPolicy, error) {
 	case "random":
 		return RandomVictim, nil
 	default:
-		return 0, fmt.Errorf("detect: unknown victim policy %q (oldest|most|fewest|random)", name)
+		return 0, fmt.Errorf("detect: unknown victim policy %q (valid: %s)",
+			name, strings.Join(PolicyNames, "|"))
 	}
 }
 

@@ -36,6 +36,10 @@ func TestParsePolicy(t *testing.T) {
 	cases := map[string]VictimPolicy{
 		"": OldestBlocked, "oldest": OldestBlocked, "most": MostResources,
 		"fewest": FewestResources, "random": RandomVictim,
+		// Case-insensitive, whitespace-tolerant.
+		"Oldest": OldestBlocked, "MOST": MostResources,
+		"Fewest": FewestResources, " random ": RandomVictim,
+		"OlDeSt": OldestBlocked,
 	}
 	for name, want := range cases {
 		got, err := ParsePolicy(name)
@@ -43,8 +47,18 @@ func TestParsePolicy(t *testing.T) {
 			t.Errorf("ParsePolicy(%q) = %v, %v", name, got, err)
 		}
 	}
-	if _, err := ParsePolicy("bogus"); err == nil {
-		t.Error("bogus policy accepted")
+	for _, bogus := range []string{"bogus", "newest", "old est"} {
+		_, err := ParsePolicy(bogus)
+		if err == nil {
+			t.Fatalf("ParsePolicy(%q) accepted", bogus)
+		}
+		// The error must list every valid policy so the CLI message is
+		// self-correcting.
+		for _, name := range PolicyNames {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("ParsePolicy(%q) error %q does not list %q", bogus, err, name)
+			}
+		}
 	}
 	for _, p := range []VictimPolicy{OldestBlocked, MostResources, FewestResources, RandomVictim} {
 		if p.String() == "" {

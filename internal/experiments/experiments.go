@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"flexsim/internal/core"
+	"flexsim/internal/fault"
 	"flexsim/internal/obs"
 	"flexsim/internal/stats"
 )
@@ -51,6 +52,14 @@ type Options struct {
 	// experiment (see sim.Config); the sink must be concurrency-safe.
 	MetricsEvery int
 	MetricsSink  obs.RunSink
+	// FaultSeed/FaultLinkMTTF/FaultRepair/FaultEvents apply a fault
+	// schedule to every run of the experiment (see sim.Config) — the
+	// -fault-* flags. The faulty experiment sets its own per-point values
+	// and ignores these.
+	FaultSeed     uint64
+	FaultLinkMTTF int
+	FaultRepair   int
+	FaultEvents   []fault.Event
 }
 
 // base returns the starting configuration for the options.
@@ -66,6 +75,10 @@ func (o Options) base() core.Config {
 	}
 	c.MetricsEvery = o.MetricsEvery
 	c.MetricsSink = o.MetricsSink
+	c.FaultSeed = o.FaultSeed
+	c.FaultLinkMTTF = o.FaultLinkMTTF
+	c.FaultRepair = o.FaultRepair
+	c.FaultEvents = o.FaultEvents
 	return c
 }
 
@@ -147,6 +160,7 @@ var registry = map[string]Func{
 	"hybrid":    HybridLength,
 	"irregular": IrregularStudy,
 	"program":   ProgramDriven,
+	"faulty":    FaultStudy,
 }
 
 // ByName returns the experiment registered under id.

@@ -1,0 +1,228 @@
+package fault
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"flexsim/internal/network"
+	"flexsim/internal/routing"
+	"flexsim/internal/topology"
+)
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := LinkDown; k <= NodeUp; k++ {
+		name := k.String()
+		if strings.HasPrefix(name, "Kind(") {
+			t.Fatalf("kind %d has no stable name", int8(k))
+		}
+		got, ok := KindByName(name)
+		if !ok || got != k {
+			t.Fatalf("KindByName(%q) = %v,%v; want %v,true", name, got, ok, k)
+		}
+	}
+	if _, ok := KindByName("bogus"); ok {
+		t.Error("KindByName accepted an unknown name")
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	events := []Event{
+		{Cycle: 10, Kind: LinkDown, Ch: 3},
+		{Cycle: 20, Kind: VCDown, Ch: 3, VC: 1},
+		{Cycle: 30, Kind: NodeDown, Node: 2},
+		{Cycle: 40, Kind: LinkUp, Ch: 3},
+		{Cycle: 50, Kind: VCUp, Ch: 3, VC: 1},
+		{Cycle: 60, Kind: NodeUp, Node: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip drifted:\n got  %v\n want %v", got, events)
+	}
+}
+
+func TestReadScheduleSortsAndRejectsGarbage(t *testing.T) {
+	in := "{\"cycle\":30,\"kind\":\"link-up\",\"ch\":1}\n\n{\"cycle\":10,\"kind\":\"link-down\",\"ch\":1}\n"
+	events, err := ReadSchedule(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Cycle != 10 || events[1].Cycle != 30 {
+		t.Fatalf("not sorted: %v", events)
+	}
+
+	if _, err := ReadSchedule(strings.NewReader(`{"cycle":1,"kind":"melt-down"}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ReadSchedule(strings.NewReader("not json")); err == nil {
+		t.Error("non-JSON line accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	topo := topology.MustNew(4, 1, true) // 4-ring: 8 directed channels
+	cases := []struct {
+		e  Event
+		ok bool
+	}{
+		{Event{Cycle: 0, Kind: LinkDown, Ch: 0}, true},
+		{Event{Cycle: 0, Kind: LinkDown, Ch: 8}, false},
+		{Event{Cycle: 0, Kind: LinkUp, Ch: -1}, false},
+		{Event{Cycle: 0, Kind: VCDown, Ch: 0, VC: 1}, true},
+		{Event{Cycle: 0, Kind: VCDown, Ch: 0, VC: 2}, false},
+		{Event{Cycle: 0, Kind: NodeDown, Node: 3}, true},
+		{Event{Cycle: 0, Kind: NodeUp, Node: 4}, false},
+		{Event{Cycle: -1, Kind: LinkDown, Ch: 0}, false},
+		{Event{Cycle: 0, Kind: Kind(99)}, false},
+	}
+	for i, c := range cases {
+		err := Validate([]Event{c.e}, topo, 2)
+		if (err == nil) != c.ok {
+			t.Errorf("case %d (%v): err = %v, want ok=%v", i, c.e, err, c.ok)
+		}
+	}
+}
+
+func TestGenerateLinkFaultsDeterministic(t *testing.T) {
+	topo := topology.MustNew(4, 2, true)
+	a := GenerateLinkFaults(topo, 7, 500, 100, 20000)
+	b := GenerateLinkFaults(topo, 7, 500, 100, 20000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same parameters produced different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("no events generated over a 20k-cycle horizon with mttf 500")
+	}
+	c := GenerateLinkFaults(topo, 8, 500, 100, 20000)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Cycle < a[i-1].Cycle {
+			t.Fatalf("schedule not sorted at %d", i)
+		}
+	}
+	if err := Validate(a, topo, 1); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+}
+
+func TestGenerateLinkFaultsPermanent(t *testing.T) {
+	topo := topology.MustNew(4, 2, true)
+	events := GenerateLinkFaults(topo, 3, 1000, 0, 50000)
+	perCh := map[int]int{}
+	for _, e := range events {
+		if e.Kind != LinkDown {
+			t.Fatalf("repair<=0 emitted %v", e)
+		}
+		perCh[e.Ch]++
+	}
+	for ch, c := range perCh {
+		if c > 1 {
+			t.Fatalf("channel %d failed %d times without repair", ch, c)
+		}
+	}
+	if GenerateLinkFaults(topo, 3, 0, 0, 50000) != nil {
+		t.Error("mttf<=0 should generate nothing")
+	}
+	if GenerateLinkFaults(topo, 3, 1000, 0, 0) != nil {
+		t.Error("horizon<=0 should generate nothing")
+	}
+}
+
+func testNet(t *testing.T) *network.Network {
+	t.Helper()
+	n, err := network.New(network.Params{
+		Topo: topology.MustNew(4, 1, true), VCs: 1, BufferDepth: 2,
+		Routing: routing.TFAR{}, RecoveryDrainRate: 1, CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestInjectorAppliesOnSchedule(t *testing.T) {
+	net := testNet(t)
+	events := []Event{
+		{Cycle: 5, Kind: LinkDown, Ch: 0},
+		{Cycle: 10, Kind: LinkUp, Ch: 0},
+		{Cycle: 15, Kind: NodeDown, Node: 1},
+	}
+	inj, err := NewInjector(net, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Tick(); got != 0 {
+		t.Fatalf("applied %d events at cycle 0", got)
+	}
+	for net.Now() < 5 {
+		net.Step()
+	}
+	if got := inj.Tick(); got != 1 {
+		t.Fatalf("applied %d events at cycle 5, want 1", got)
+	}
+	if inj.ActiveCount() != 1 || net.LinksDown() != 1 {
+		t.Fatalf("active=%d linksDown=%d after link-down", inj.ActiveCount(), net.LinksDown())
+	}
+	faults := inj.ActiveFaults()
+	if len(faults) != 1 || !strings.HasPrefix(faults[0], "link-down ch=0") {
+		t.Fatalf("ActiveFaults = %v", faults)
+	}
+	for net.Now() < 10 {
+		net.Step()
+	}
+	inj.Tick()
+	if inj.ActiveCount() != 0 || net.LinksDown() != 0 {
+		t.Fatalf("link-up did not clear the active set: active=%d", inj.ActiveCount())
+	}
+	for net.Now() < 15 {
+		net.Step()
+	}
+	inj.Tick()
+	if inj.ActiveCount() != 1 || net.FaultsActive() != 1 {
+		t.Fatalf("node-down not active: active=%d net=%d", inj.ActiveCount(), net.FaultsActive())
+	}
+	if inj.Applied() != 3 || inj.Pending() != 0 {
+		t.Fatalf("applied=%d pending=%d, want 3,0", inj.Applied(), inj.Pending())
+	}
+}
+
+func TestInjectorLateTickCatchesUp(t *testing.T) {
+	net := testNet(t)
+	inj, err := NewInjector(net, []Event{
+		{Cycle: 1, Kind: LinkDown, Ch: 2},
+		{Cycle: 2, Kind: VCDown, Ch: 3, VC: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for net.Now() < 50 {
+		net.Step()
+	}
+	if got := inj.Tick(); got != 2 {
+		t.Fatalf("late tick applied %d, want 2", got)
+	}
+}
+
+func TestInjectorRejectsBadSchedules(t *testing.T) {
+	net := testNet(t)
+	if _, err := NewInjector(net, []Event{{Cycle: 0, Kind: LinkDown, Ch: 999}}); err == nil {
+		t.Error("out-of-range channel accepted")
+	}
+	unsorted := []Event{
+		{Cycle: 10, Kind: LinkDown, Ch: 0},
+		{Cycle: 5, Kind: LinkUp, Ch: 0},
+	}
+	if _, err := NewInjector(net, unsorted); err == nil {
+		t.Error("unsorted schedule accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"fmt"
+
+	"flexsim/internal/network"
+	"flexsim/internal/topology"
+)
+
+// Injector applies a sorted fault schedule to a network as simulation time
+// passes. The simulation loop calls Tick on the detector cadence
+// (DetectEvery), so events fire in batches at most one period after their
+// nominal cycle — the same latency the detector itself has — and a run
+// without a schedule never constructs an Injector at all.
+type Injector struct {
+	net    *network.Network
+	events []Event
+	next   int
+
+	applied int64
+
+	// active is the current fault set in application order, for incident
+	// post-mortems and the /metrics view.
+	active []Event
+}
+
+// NewInjector validates the schedule against the network and returns an
+// injector ready to tick. Events must be sorted (ReadSchedule and
+// GenerateLinkFaults return them sorted; assembled schedules should call
+// Sort).
+func NewInjector(net *network.Network, events []Event) (*Injector, error) {
+	if err := Validate(events, net.Topology(), net.Params().VCs); err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Cycle < events[i-1].Cycle {
+			return nil, fmt.Errorf("fault: schedule not sorted at event %d (cycle %d after %d)",
+				i, events[i].Cycle, events[i-1].Cycle)
+		}
+	}
+	return &Injector{net: net, events: events}, nil
+}
+
+// Tick applies every event due at or before the network's current cycle.
+// It returns the number of events applied this call.
+func (in *Injector) Tick() int {
+	now := in.net.Now()
+	n := 0
+	for in.next < len(in.events) && in.events[in.next].Cycle <= now {
+		in.apply(in.events[in.next])
+		in.next++
+		n++
+	}
+	in.applied += int64(n)
+	return n
+}
+
+// apply routes one event into the network and maintains the active set.
+func (in *Injector) apply(e Event) {
+	switch e.Kind {
+	case LinkDown:
+		in.net.SetLinkDown(topology.ChannelID(e.Ch))
+		in.activate(e)
+	case LinkUp:
+		in.net.SetLinkUp(topology.ChannelID(e.Ch))
+		in.deactivate(LinkDown, e)
+	case VCDown:
+		in.net.SetVCDown(topology.ChannelID(e.Ch), e.VC)
+		in.activate(e)
+	case VCUp:
+		in.net.SetVCUp(topology.ChannelID(e.Ch), e.VC)
+		in.deactivate(VCDown, e)
+	case NodeDown:
+		in.net.SetNodeDown(e.Node)
+		in.activate(e)
+	case NodeUp:
+		in.net.SetNodeUp(e.Node)
+		in.deactivate(NodeDown, e)
+	}
+}
+
+// activate records a down event in the active set (idempotently).
+func (in *Injector) activate(e Event) {
+	for _, a := range in.active {
+		if a.Kind == e.Kind && a.Ch == e.Ch && a.VC == e.VC && a.Node == e.Node {
+			return
+		}
+	}
+	in.active = append(in.active, e)
+}
+
+// deactivate removes the matching down event from the active set.
+func (in *Injector) deactivate(down Kind, e Event) {
+	for i, a := range in.active {
+		if a.Kind == down && a.Ch == e.Ch && a.VC == e.VC && a.Node == e.Node {
+			in.active = append(in.active[:i], in.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// Applied returns the number of events applied so far.
+func (in *Injector) Applied() int64 { return in.applied }
+
+// Pending returns the number of scheduled events not yet applied.
+func (in *Injector) Pending() int { return len(in.events) - in.next }
+
+// ActiveCount returns the size of the current fault set.
+func (in *Injector) ActiveCount() int { return len(in.active) }
+
+// ActiveFaults renders the current fault set as human-readable resource
+// names ("link-down ch=12 (3->4)", "node-down node=7"), in the order the
+// faults were applied — incident post-mortems embed this so a deadlock can
+// be correlated with the degraded topology it formed on.
+func (in *Injector) ActiveFaults() []string {
+	if len(in.active) == 0 {
+		return nil
+	}
+	topo := in.net.Topology()
+	out := make([]string, len(in.active))
+	for i, a := range in.active {
+		switch a.Kind {
+		case LinkDown:
+			out[i] = fmt.Sprintf("link-down ch=%d (%s)", a.Ch, topo.ChannelString(topology.ChannelID(a.Ch)))
+		case VCDown:
+			out[i] = fmt.Sprintf("vc-down ch=%d.v%d (%s)", a.Ch, a.VC, topo.ChannelString(topology.ChannelID(a.Ch)))
+		default:
+			out[i] = fmt.Sprintf("node-down node=%d", a.Node)
+		}
+	}
+	return out
+}

@@ -40,6 +40,10 @@ const (
 	// Recovered: fully absorbed by the recovery mechanism (delivered out
 	// of band).
 	Recovered
+	// Killed: removed from the network by a fault (its channel or node
+	// failed, or it became unroutable on the surviving graph). Flits are
+	// accounted as consumed; the message is not counted as delivered.
+	Killed
 )
 
 // String returns the status name.
@@ -55,6 +59,8 @@ func (s Status) String() string {
 		return "recovering"
 	case Recovered:
 		return "recovered"
+	case Killed:
+		return "killed"
 	default:
 		return fmt.Sprintf("Status(%d)", int8(s))
 	}

@@ -98,12 +98,22 @@ type Network struct {
 	// or absorbed by recovery (Status distinguishes the two).
 	OnDeliver func(*message.Message)
 
+	// faults is the lazily allocated fault state (see fault.go); nil on a
+	// healthy network, so fault-free runs pay one nil check per phase.
+	faults *faultState
+
 	// Counters (monotonic).
 	DeliveredCount int64
 	RecoveredCount int64
 	InjectedFlits  int64
 	DeliveredFlits int64
 	AbsorbedFlits  int64
+	// KilledCount counts messages removed by faults (dead channel/node or
+	// unroutable); KilledFlits counts their discarded buffered flits, and
+	// UnroutableCount the subset of kills with no live route remaining.
+	KilledCount     int64
+	KilledFlits     int64
+	UnroutableCount int64
 }
 
 // msgQueue is a FIFO with amortized O(1) pop.
@@ -294,7 +304,7 @@ func (n *Network) TotalInjected() int64 { return int64(n.nextID) }
 
 // FlitsInNetwork returns the number of flits currently held in edge buffers.
 func (n *Network) FlitsInNetwork() int64 {
-	return n.InjectedFlits - n.DeliveredFlits - n.AbsorbedFlits
+	return n.InjectedFlits - n.DeliveredFlits - n.AbsorbedFlits - n.KilledFlits
 }
 
 // Params returns the construction parameters.
@@ -329,6 +339,19 @@ func (n *Network) startInjections() {
 		m := q.peek()
 		if m == nil {
 			continue
+		}
+		if n.faults != nil {
+			if n.faults.nodeDown[node] {
+				continue // a dead router injects nothing
+			}
+			if n.faults.nodeDown[m.Dst] {
+				// Destination is down: drop rather than inject a
+				// message that can never be consumed.
+				q.pop()
+				n.queued--
+				n.dropQueuedDead(m, node)
+				continue
+			}
 		}
 		vc := n.InjVC(node)
 		if n.owner[vc] != nil {
@@ -376,9 +399,23 @@ func (n *Network) allocatePhase() {
 			req.Deroutes = derouteCount(n.topo, m)
 		}
 		n.candBuf = n.p.Routing.Candidates(&req, n.candBuf[:0])
-		if len(n.candBuf) == 0 {
-			panic(fmt.Sprintf("network: routing %q returned no candidates for %s at node %d",
-				n.p.Routing.Name(), m, here))
+		if n.faults != nil {
+			cands, ok := n.faultCandidates(m, here, req.PrevCh, n.candBuf)
+			if !ok || len(cands) == 0 {
+				// No live route to the destination on the surviving
+				// graph (or the misroute budget is spent): drop with
+				// a counted stat instead of spinning forever.
+				n.killUnroutable(m, here)
+				continue
+			}
+			n.candBuf = cands
+		} else if len(n.candBuf) == 0 {
+			// The routing relation itself has no continuation for this
+			// header (a disconnected source/destination pair on a
+			// degraded or irregular graph): same drop-with-stat
+			// semantics as a fault disconnection.
+			n.killUnroutable(m, here)
+			continue
 		}
 		granted := false
 		for _, c := range n.candBuf {
@@ -596,8 +633,8 @@ func (n *Network) releasePhase() {
 			m.Released++
 			n.resEpoch++
 		}
-		done := (m.Status == message.Delivered || m.Status == message.Recovered) &&
-			m.Released == len(m.Path)
+		done := (m.Status == message.Delivered || m.Status == message.Recovered ||
+			m.Status == message.Killed) && m.Released == len(m.Path)
 		if done {
 			if n.OnDeliver != nil {
 				n.OnDeliver(m)
@@ -695,8 +732,8 @@ func (n *Network) absorbFlits(m *message.Message, k int) {
 func (n *Network) CheckInvariants() error {
 	seen := make(map[message.VC]message.ID, 64)
 	for _, m := range n.active {
-		if m.Status == message.Recovered {
-			// recovered messages may still be draining release
+		if m.Status == message.Recovered || m.Status == message.Killed {
+			// recovered and killed messages may still be draining release
 			continue
 		}
 		if err := m.CheckInvariants(); err != nil {

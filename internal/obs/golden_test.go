@@ -1,12 +1,16 @@
 package obs_test
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"flexsim/internal/cwg"
+	"flexsim/internal/detect"
+	"flexsim/internal/message"
 	"flexsim/internal/obs"
 	"flexsim/internal/sim"
 	"flexsim/internal/trace"
@@ -78,6 +82,70 @@ func TestGoldenArtifacts(t *testing.T) {
 	}
 	checkGolden(t, "metrics.golden.csv", metricsCSV)
 	checkGolden(t, "incidents.golden.jsonl", incidentsJSONL)
+}
+
+// TestIncidentFaultContextGolden pins the incident schema under fault
+// injection: an incident captured with a non-empty active-fault context
+// must round-trip through WriteJSONL with the fault fields intact, and the
+// rendered JSONL must match the golden byte-for-byte.
+func TestIncidentFaultContextGolden(t *testing.T) {
+	faults := []string{"link-down ch=3 (1->2)", "node-down node=5"}
+	log := &obs.IncidentLog{FaultContext: func() []string { return faults }}
+	log.ObserveDeadlock(detect.Observation{
+		Cycle: 1200,
+		Deadlock: &cwg.Deadlock{
+			KnotVCs:     []message.VC{1, 2},
+			DeadlockSet: []message.ID{4, 5},
+			ResourceSet: []message.VC{1, 2, 3},
+			KnotCycles:  1,
+			Kind:        cwg.SingleCycle,
+		},
+		Victim: 4,
+		Policy: detect.OldestBlocked,
+	})
+	log.RecoveryDone(4, 1260)
+
+	var b strings.Builder
+	if err := log.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "incidents_faulty.golden.jsonl", b.String())
+
+	var inc obs.Incident
+	if err := json.Unmarshal([]byte(strings.TrimSpace(b.String())), &inc); err != nil {
+		t.Fatal(err)
+	}
+	if inc.FaultsActive != 2 || len(inc.ActiveFaults) != 2 {
+		t.Fatalf("fault context lost in round trip: %+v", inc)
+	}
+	if inc.ActiveFaults[0] != faults[0] || inc.ActiveFaults[1] != faults[1] {
+		t.Fatalf("ActiveFaults = %v, want %v", inc.ActiveFaults, faults)
+	}
+	// The captured incident must own a copy, not alias the injector's
+	// mutable active set.
+	faults[0] = "mutated"
+	if log.Incidents()[0].ActiveFaults[0] == "mutated" {
+		t.Fatal("incident aliases the caller's fault slice")
+	}
+}
+
+// TestIncidentNoFaultContextOmitted: healthy runs must not grow fault
+// fields in their incident records.
+func TestIncidentNoFaultContextOmitted(t *testing.T) {
+	log := &obs.IncidentLog{}
+	log.ObserveDeadlock(detect.Observation{
+		Cycle:    10,
+		Deadlock: &cwg.Deadlock{Kind: cwg.SingleCycle},
+		Victim:   -1,
+		Policy:   detect.OldestBlocked,
+	})
+	var b strings.Builder
+	if err := log.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "faults_active") || strings.Contains(b.String(), "active_faults") {
+		t.Fatalf("healthy incident leaked fault fields: %s", b.String())
+	}
 }
 
 // TestGoldenRunDeterministic re-executes the golden run and requires

@@ -38,6 +38,12 @@ type Incident struct {
 	// pending (or disabled).
 	RecoveredCycle int64 `json:"recovered_cycle"`
 	DrainCycles    int64 `json:"drain_cycles"`
+	// FaultsActive is the size of the fault set at detection time, and
+	// ActiveFaults names the failed resources — a deadlock under faults
+	// is only interpretable against the degraded topology it formed on.
+	// Both are absent on healthy runs.
+	FaultsActive int      `json:"faults_active,omitempty"`
+	ActiveFaults []string `json:"active_faults,omitempty"`
 	// Events holds the last trace events preceding detection (requires a
 	// trace.Ring wired as both the network tracer and LastEvents).
 	Events []trace.Event `json:"events,omitempty"`
@@ -57,6 +63,10 @@ type IncidentLog struct {
 	LastEvents *trace.Ring
 	// MaxEvents caps the events copied per incident (0 = 16).
 	MaxEvents int
+	// FaultContext, if non-nil, is sampled at each detection to embed the
+	// active fault set in the incident (sim wires the fault injector's
+	// ActiveFaults here when a schedule is configured).
+	FaultContext func() []string
 
 	incidents []Incident
 	open      map[message.ID]int // victim id -> incident index, drain pending
@@ -79,6 +89,12 @@ func (l *IncidentLog) ObserveDeadlock(o detect.Observation) {
 		RecoveredCycle: -1,
 		DrainCycles:    -1,
 		KnotDOT:        o.KnotDOT,
+	}
+	if l.FaultContext != nil {
+		if faults := l.FaultContext(); len(faults) > 0 {
+			inc.FaultsActive = len(faults)
+			inc.ActiveFaults = append([]string(nil), faults...)
+		}
 	}
 	if l.LastEvents != nil {
 		events := l.LastEvents.Events()

@@ -22,6 +22,8 @@ type Live struct {
 	deadlocks   atomic.Int64
 	invocations atomic.Int64
 	gated       atomic.Int64
+	faults      atomic.Int64
+	killed      atomic.Int64
 }
 
 // Store publishes a sample.
@@ -37,22 +39,26 @@ func (l *Live) Store(g Gauges) {
 	l.deadlocks.Store(g.Deadlocks)
 	l.invocations.Store(g.Invocations)
 	l.gated.Store(g.Gated)
+	l.faults.Store(int64(g.FaultsActive))
+	l.killed.Store(g.MsgsKilled)
 }
 
 // Snapshot returns the most recently published sample.
 func (l *Live) Snapshot() Gauges {
 	return Gauges{
-		Cycle:       l.cycle.Load(),
-		Active:      int(l.active.Load()),
-		Blocked:     int(l.blocked.Load()),
-		Queued:      int(l.queued.Load()),
-		Flits:       l.flits.Load(),
-		Delivered:   l.delivered.Load(),
-		Recovered:   l.recovered.Load(),
-		Generated:   l.generated.Load(),
-		Deadlocks:   l.deadlocks.Load(),
-		Invocations: l.invocations.Load(),
-		Gated:       l.gated.Load(),
+		Cycle:        l.cycle.Load(),
+		Active:       int(l.active.Load()),
+		Blocked:      int(l.blocked.Load()),
+		Queued:       int(l.queued.Load()),
+		Flits:        l.flits.Load(),
+		Delivered:    l.delivered.Load(),
+		Recovered:    l.recovered.Load(),
+		Generated:    l.generated.Load(),
+		Deadlocks:    l.deadlocks.Load(),
+		Invocations:  l.invocations.Load(),
+		Gated:        l.gated.Load(),
+		FaultsActive: int(l.faults.Load()),
+		MsgsKilled:   l.killed.Load(),
 	}
 }
 
@@ -74,6 +80,8 @@ func (l *Live) WritePrometheus(w io.Writer) error {
 		{"flexsim_deadlocks_total", "Deadlocks detected (since measurement start).", "counter", g.Deadlocks},
 		{"flexsim_detector_invocations_total", "Detector passes (since measurement start).", "counter", g.Invocations},
 		{"flexsim_detector_gated_total", "Detector passes skipped by change-gating.", "counter", g.Gated},
+		{"flexsim_faults_active", "Currently failed resources (links, VCs, nodes).", "gauge", int64(g.FaultsActive)},
+		{"flexsim_fault_killed_messages_total", "Messages removed by fault injection.", "counter", g.MsgsKilled},
 	}
 	for _, m := range metrics {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",

@@ -49,4 +49,9 @@ type Gauges struct {
 	Deadlocks   int64
 	Invocations int64
 	Gated       int64
+	// FaultsActive counts currently failed resources (downed links,
+	// locked VCs, dead nodes); MsgsKilled is the monotonic count of
+	// messages fault injection removed from the network.
+	FaultsActive int
+	MsgsKilled   int64
 }

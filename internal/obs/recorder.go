@@ -27,6 +27,8 @@ type Recorder struct {
 	deadlocks   []int64
 	invocations []int64
 	gated       []int64
+	faults      []int32
+	killed      []int64
 }
 
 // DefaultEvery is the sampling cadence used when a caller enables metrics
@@ -55,6 +57,8 @@ func (r *Recorder) Record(g Gauges) {
 	r.deadlocks = append(r.deadlocks, g.Deadlocks)
 	r.invocations = append(r.invocations, g.Invocations)
 	r.gated = append(r.gated, g.Gated)
+	r.faults = append(r.faults, int32(g.FaultsActive))
+	r.killed = append(r.killed, g.MsgsKilled)
 }
 
 // Len returns the number of recorded samples.
@@ -63,17 +67,19 @@ func (r *Recorder) Len() int { return len(r.cycle) }
 // At returns sample i.
 func (r *Recorder) At(i int) Gauges {
 	return Gauges{
-		Cycle:       r.cycle[i],
-		Active:      int(r.active[i]),
-		Blocked:     int(r.blocked[i]),
-		Queued:      int(r.queued[i]),
-		Flits:       r.flits[i],
-		Delivered:   r.delivered[i],
-		Recovered:   r.recovered[i],
-		Generated:   r.generated[i],
-		Deadlocks:   r.deadlocks[i],
-		Invocations: r.invocations[i],
-		Gated:       r.gated[i],
+		Cycle:        r.cycle[i],
+		Active:       int(r.active[i]),
+		Blocked:      int(r.blocked[i]),
+		Queued:       int(r.queued[i]),
+		Flits:        r.flits[i],
+		Delivered:    r.delivered[i],
+		Recovered:    r.recovered[i],
+		Generated:    r.generated[i],
+		Deadlocks:    r.deadlocks[i],
+		Invocations:  r.invocations[i],
+		Gated:        r.gated[i],
+		FaultsActive: int(r.faults[i]),
+		MsgsKilled:   r.killed[i],
 	}
 }
 
@@ -97,6 +103,7 @@ var metricsColumns = []string{
 	"label", "seed", "load", "cycle", "active", "blocked", "queued",
 	"flits", "delivered", "recovered", "generated",
 	"deadlocks", "invocations", "gated",
+	"faults_active", "msgs_killed_by_fault",
 }
 
 // CSVSink writes every flushed run as CSV rows under a single header.
@@ -125,11 +132,12 @@ func (s *CSVSink) Run(meta RunMeta, rec *Recorder) {
 	}
 	for i := 0; i < rec.Len(); i++ {
 		g := rec.At(i)
-		fmt.Fprintf(&b, "%s,%d,%g,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(&b, "%s,%d,%g,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			csvEscape(meta.Label), meta.Seed, meta.Load, g.Cycle,
 			g.Active, g.Blocked, g.Queued, g.Flits,
 			g.Delivered, g.Recovered, g.Generated,
-			g.Deadlocks, g.Invocations, g.Gated)
+			g.Deadlocks, g.Invocations, g.Gated,
+			g.FaultsActive, g.MsgsKilled)
 	}
 	_, s.err = io.WriteString(s.w, b.String())
 }
@@ -169,11 +177,12 @@ func (s *JSONLSink) Run(meta RunMeta, rec *Recorder) {
 	var b strings.Builder
 	for i := 0; i < rec.Len(); i++ {
 		g := rec.At(i)
-		fmt.Fprintf(&b, `{"label":%q,"seed":%d,"load":%g,"cycle":%d,"active":%d,"blocked":%d,"queued":%d,"flits":%d,"delivered":%d,"recovered":%d,"generated":%d,"deadlocks":%d,"invocations":%d,"gated":%d}`,
+		fmt.Fprintf(&b, `{"label":%q,"seed":%d,"load":%g,"cycle":%d,"active":%d,"blocked":%d,"queued":%d,"flits":%d,"delivered":%d,"recovered":%d,"generated":%d,"deadlocks":%d,"invocations":%d,"gated":%d,"faults_active":%d,"msgs_killed_by_fault":%d}`,
 			meta.Label, meta.Seed, meta.Load, g.Cycle,
 			g.Active, g.Blocked, g.Queued, g.Flits,
 			g.Delivered, g.Recovered, g.Generated,
-			g.Deadlocks, g.Invocations, g.Gated)
+			g.Deadlocks, g.Invocations, g.Gated,
+			g.FaultsActive, g.MsgsKilled)
 		b.WriteByte('\n')
 	}
 	_, s.err = io.WriteString(s.w, b.String())

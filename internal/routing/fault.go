@@ -1,0 +1,54 @@
+package routing
+
+// Fault-aware supply-set primitives. Under link/node failures the routing
+// relation is restricted to the surviving graph: candidates on dead
+// resources are excluded from the supply set (and therefore from the
+// channel wait-for graph the detector builds), and a header whose entire
+// minimal candidate set is dead falls back to any live output — the paper's
+// TFAR relation re-read over whatever graph survives. The network layer
+// owns the liveness predicate (it tracks fault state); these helpers keep
+// the selection logic with the rest of the routing relations.
+
+import "flexsim/internal/topology"
+
+// Alive reports whether virtual channel vc of channel ch is usable: the
+// channel is up, both endpoints are up, and the VC is not locked out.
+type Alive func(ch topology.ChannelID, vc int) bool
+
+// FilterAlive removes candidates the alive predicate rejects, in place,
+// preserving order (candidate priority survives the fault filter).
+func FilterAlive(cands []Candidate, alive Alive) []Candidate {
+	out := cands[:0]
+	for _, c := range cands {
+		if alive(c.Ch, c.VC) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Surviving appends every live (channel, VC) pair leaving node — except the
+// reverse of prev, which would bounce the header straight back — to buf and
+// returns it. It is the fallback supply set when a header's entire minimal
+// candidate set is dead: any live output, misrouting if the minimal
+// directions are disconnected. chBuf is scratch for the out-channel
+// enumeration (pass a reused slice to avoid allocation).
+func Surviving(topo topology.Network, node int, prev topology.ChannelID, vcs int,
+	alive Alive, buf []Candidate, chBuf []topology.ChannelID) ([]Candidate, []topology.ChannelID) {
+	var prevSrc int = -1
+	if prev != topology.None {
+		prevSrc = topo.ChannelSrc(prev)
+	}
+	chBuf = topo.OutChannels(node, chBuf[:0])
+	for _, ch := range chBuf {
+		if prevSrc >= 0 && topo.ChannelDst(ch) == prevSrc {
+			continue // reverse of the previous hop
+		}
+		for v := 0; v < vcs; v++ {
+			if alive(ch, v) {
+				buf = append(buf, Candidate{Ch: ch, VC: v})
+			}
+		}
+	}
+	return buf, chBuf
+}

@@ -1,0 +1,86 @@
+package routing
+
+import (
+	"testing"
+
+	"flexsim/internal/topology"
+)
+
+func TestFilterAlive(t *testing.T) {
+	cands := []Candidate{
+		{Ch: 0, VC: 0}, {Ch: 0, VC: 1}, {Ch: 1, VC: 0}, {Ch: 2, VC: 0},
+	}
+	alive := func(ch topology.ChannelID, vc int) bool {
+		return !(ch == 0 && vc == 1) && ch != 2
+	}
+	got := FilterAlive(cands, alive)
+	want := []Candidate{{Ch: 0, VC: 0}, {Ch: 1, VC: 0}}
+	if len(got) != len(want) {
+		t.Fatalf("FilterAlive = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FilterAlive[%d] = %v, want %v (order must be preserved)", i, got[i], want[i])
+		}
+	}
+	if all := FilterAlive(cands[:0], alive); len(all) != 0 {
+		t.Fatal("empty input must stay empty")
+	}
+}
+
+func TestFilterAliveInPlace(t *testing.T) {
+	cands := []Candidate{{Ch: 0, VC: 0}, {Ch: 1, VC: 0}}
+	got := FilterAlive(cands, func(topology.ChannelID, int) bool { return true })
+	if &got[0] != &cands[0] {
+		t.Fatal("FilterAlive must reuse the input slice")
+	}
+}
+
+func TestSurviving(t *testing.T) {
+	topo := topology.MustNew(4, 1, true) // 4-ring
+	// Node 0 has two out-channels: toward 1 and toward 3.
+	toward1 := topology.None
+	toward3 := topology.None
+	for _, ch := range topo.OutChannels(0, nil) {
+		switch topo.ChannelDst(ch) {
+		case 1:
+			toward1 = ch
+		case 3:
+			toward3 = ch
+		}
+	}
+	allAlive := func(topology.ChannelID, int) bool { return true }
+
+	// No previous hop: both directions, every VC.
+	got, _ := Surviving(topo, 0, topology.None, 2, allAlive, nil, nil)
+	if len(got) != 4 {
+		t.Fatalf("Surviving with no prev = %d candidates, want 4", len(got))
+	}
+
+	// Previous hop came from node 1: the reverse (back toward 1) is
+	// excluded.
+	var from1 topology.ChannelID
+	for _, ch := range topo.OutChannels(1, nil) {
+		if topo.ChannelDst(ch) == 0 {
+			from1 = ch
+		}
+	}
+	got, _ = Surviving(topo, 0, from1, 1, allAlive, got[:0], nil)
+	if len(got) != 1 || got[0].Ch != toward3 {
+		t.Fatalf("Surviving after hop from 1 = %v, want only ch %d", got, toward3)
+	}
+
+	// Dead channel excluded entirely.
+	got, _ = Surviving(topo, 0, topology.None, 1,
+		func(ch topology.ChannelID, _ int) bool { return ch != toward1 }, got[:0], nil)
+	if len(got) != 1 || got[0].Ch != toward3 {
+		t.Fatalf("Surviving with ch %d dead = %v", toward1, got)
+	}
+
+	// Everything dead: empty supply set.
+	got, _ = Surviving(topo, 0, topology.None, 1,
+		func(topology.ChannelID, int) bool { return false }, got[:0], nil)
+	if len(got) != 0 {
+		t.Fatalf("Surviving on a dead node = %v, want empty", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"flexsim/internal/fault"
 	"flexsim/internal/obs"
 	"flexsim/internal/sim"
 	"flexsim/internal/stats"
@@ -17,9 +18,9 @@ import (
 // fails because a semantic field was added or renamed, update the golden —
 // and accept that every existing cache is invalidated. If it fails for any
 // other reason, the cache key is unstable and resume is broken.
-const goldenCanonical = `{"Bidirectional":true,"BufferDepth":2,"CheckInvariants":false,"ComputeDelay":0,"CycleCensus":false,"DetectEvery":50,"HotspotFrac":0,"IrregularLinks":0,"IrregularNodes":0,"K":16,"KeepEvents":false,"KnotCycles":true,"Label":"","Load":0.5,"MaxCycles":0,"MaxWork":0,"MeasureCycles":30000,"Mesh":false,"MsgLen":32,"MsgLenShort":0,"N":2,"Recover":true,"RecoveryDrainRate":1,"Routing":"tfar","Seed":1,"ShortFrac":0,"TimeoutThresholds":null,"Traffic":"uniform","VCs":1,"VictimPolicy":"oldest","WarmupCycles":10000,"Workload":"","WorkloadPhases":0}`
+const goldenCanonical = `{"Bidirectional":true,"BufferDepth":2,"CheckInvariants":false,"ComputeDelay":0,"CycleCensus":false,"DetectEvery":50,"FaultEvents":null,"FaultLinkMTTF":0,"FaultRepair":0,"FaultSeed":0,"HotspotFrac":0,"IrregularLinks":0,"IrregularNodes":0,"K":16,"KeepEvents":false,"KnotCycles":true,"Label":"","Load":0.5,"MaxCycles":0,"MaxWork":0,"MeasureCycles":30000,"Mesh":false,"MsgLen":32,"MsgLenShort":0,"N":2,"Recover":true,"RecoveryDrainRate":1,"Routing":"tfar","Seed":1,"ShortFrac":0,"TimeoutThresholds":null,"Traffic":"uniform","VCs":1,"VictimPolicy":"oldest","WarmupCycles":10000,"Workload":"","WorkloadPhases":0}`
 
-const goldenKey = "eaae51ebef03c8408afed591ee664d94f850235f00828440bb59927d57ac6f0e"
+const goldenKey = "b9a74bd79fe4d74b82a3e79783a3ee8b80701c5a58515e842bd059e5e72f114b"
 
 func TestCanonicalConfigGolden(t *testing.T) {
 	got := string(CanonicalConfig(sim.Default()))
@@ -47,6 +48,15 @@ func TestKeySensitivity(t *testing.T) {
 		"Recover":       func(c *sim.Config) { c.Recover = false },
 		"TimeoutThresholds": func(c *sim.Config) {
 			c.TimeoutThresholds = []int64{16, 32}
+		},
+		"FaultSeed":     func(c *sim.Config) { c.FaultSeed = 9 },
+		"FaultLinkMTTF": func(c *sim.Config) { c.FaultLinkMTTF = 5000 },
+		"FaultRepair":   func(c *sim.Config) { c.FaultRepair = 200 },
+		"FaultEvents": func(c *sim.Config) {
+			c.FaultEvents = []fault.Event{{Cycle: 100, Kind: fault.LinkDown, Ch: 3}}
+		},
+		"FaultEvents-alt": func(c *sim.Config) {
+			c.FaultEvents = []fault.Event{{Cycle: 200, Kind: fault.LinkDown, Ch: 3}}
 		},
 	}
 	seen := map[string]string{Key(base): "base"}

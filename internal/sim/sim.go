@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"flexsim/internal/detect"
+	"flexsim/internal/fault"
 	"flexsim/internal/message"
 	"flexsim/internal/network"
 	"flexsim/internal/obs"
@@ -78,6 +79,22 @@ type Config struct {
 	Seed          uint64
 	WarmupCycles  int
 	MeasureCycles int
+
+	// Fault injection (see the fault package). FaultEvents is an explicit
+	// schedule (e.g. parsed from a -fault-schedule file). FaultLinkMTTF,
+	// when > 0, additionally generates link failures with that mean
+	// time-to-failure per directed channel, each repaired FaultRepair
+	// cycles later (FaultRepair <= 0 leaves failed links down), over the
+	// whole run. Generation draws from rng.Stream(seed, "fault") — a
+	// stream derived from the seed value alone — so attaching a schedule
+	// never perturbs traffic or workload draws. FaultSeed overrides the
+	// stream seed (0 = use Seed). All four fields are semantic: they fold
+	// into the content-addressed cache key, so a changed schedule is a
+	// different cache entry.
+	FaultSeed     uint64
+	FaultLinkMTTF int
+	FaultRepair   int
+	FaultEvents   []fault.Event
 
 	// Deadlock detection and recovery.
 	DetectEvery       int    // detector period (paper: 50)
@@ -165,15 +182,17 @@ type Runner struct {
 	Detector *detect.Detector
 	Proc     *traffic.Process
 	Workload workload.Driver // nil for open-loop traffic
+	Faults   *fault.Injector // nil when no fault schedule is configured
 
-	res       stats.Result
-	rec       *obs.Recorder
-	measuring bool
-	sumAct    int64
-	sumBlk    int64
-	sumQue    int64
-	sumFlt    int64
-	samples   int64
+	res        stats.Result
+	rec        *obs.Recorder
+	faultEvery int64 // fault-tick cadence (DetectEvery); 0 when no schedule
+	measuring  bool
+	sumAct     int64
+	sumBlk     int64
+	sumQue     int64
+	sumFlt     int64
+	samples    int64
 }
 
 // NewRunner validates the configuration and builds the simulation.
@@ -274,6 +293,30 @@ func NewRunner(c Config) (*Runner, error) {
 		}
 		r.Workload = drv
 	}
+	if len(c.FaultEvents) > 0 || c.FaultLinkMTTF > 0 {
+		events := append([]fault.Event(nil), c.FaultEvents...)
+		if c.FaultLinkMTTF > 0 {
+			seed := c.FaultSeed
+			if seed == 0 {
+				seed = c.Seed
+			}
+			horizon := int64(c.WarmupCycles + c.MeasureCycles)
+			events = append(events, fault.GenerateLinkFaults(topo, seed, c.FaultLinkMTTF, c.FaultRepair, horizon)...)
+		}
+		fault.Sort(events)
+		inj, err := fault.NewInjector(net, events)
+		if err != nil {
+			return nil, err
+		}
+		r.Faults = inj
+		r.faultEvery = int64(c.DetectEvery)
+		if r.faultEvery <= 0 {
+			r.faultEvery = 1
+		}
+		if c.Incidents != nil {
+			c.Incidents.FaultContext = inj.ActiveFaults
+		}
+	}
 	if c.MetricsEvery > 0 || c.MetricsLive != nil {
 		r.rec = obs.NewRecorder(c.MetricsEvery)
 	}
@@ -289,6 +332,11 @@ func NewRunner(c Config) (*Runner, error) {
 }
 
 func (r *Runner) onDeliver(m *message.Message) {
+	if m.Status == message.Killed {
+		// Fault casualties are not deliveries: they are accounted in the
+		// network's Killed/Unroutable counters, folded in at Finish.
+		return
+	}
 	if r.Workload != nil {
 		r.Workload.Delivered(m)
 	}
@@ -334,6 +382,12 @@ func (r *Runner) StepCycle() {
 		r.Proc.Generate(inject)
 	}
 	r.Net.Step()
+	if r.Faults != nil && r.Net.Now()%r.faultEvery == 0 {
+		// Apply due fault events before the detector looks, so a pass on
+		// the same cycle sees the post-fault wait-for graph (and the
+		// resource-epoch bumps invalidate its change gate).
+		r.Faults.Tick()
+	}
 	r.Detector.Tick()
 	if r.rec != nil && r.Net.Now()%int64(r.rec.Every) == 0 {
 		r.sampleMetrics()
@@ -356,17 +410,19 @@ func (r *Runner) StepCycle() {
 // bare hot path.
 func (r *Runner) sampleMetrics() {
 	g := obs.Gauges{
-		Cycle:       r.Net.Now(),
-		Active:      r.Net.ActiveCount(),
-		Blocked:     r.Net.BlockedCount(),
-		Queued:      r.Net.QueuedCount(),
-		Flits:       r.Net.FlitsInNetwork(),
-		Delivered:   r.Net.DeliveredCount,
-		Recovered:   r.Net.RecoveredCount,
-		Generated:   r.Net.TotalInjected(),
-		Deadlocks:   r.Detector.Stats.Deadlocks,
-		Invocations: r.Detector.Stats.Invocations,
-		Gated:       r.Detector.Stats.Gated,
+		Cycle:        r.Net.Now(),
+		Active:       r.Net.ActiveCount(),
+		Blocked:      r.Net.BlockedCount(),
+		Queued:       r.Net.QueuedCount(),
+		Flits:        r.Net.FlitsInNetwork(),
+		Delivered:    r.Net.DeliveredCount,
+		Recovered:    r.Net.RecoveredCount,
+		Generated:    r.Net.TotalInjected(),
+		Deadlocks:    r.Detector.Stats.Deadlocks,
+		Invocations:  r.Detector.Stats.Invocations,
+		Gated:        r.Detector.Stats.Gated,
+		FaultsActive: r.Net.FaultsActive(),
+		MsgsKilled:   r.Net.KilledCount,
 	}
 	r.rec.Record(g)
 	if r.Cfg.MetricsLive != nil {
@@ -483,6 +539,12 @@ func (r *Runner) Finish() *stats.Result {
 		threshold = 8
 	}
 	res.Saturated = growth > threshold
+	if r.Faults != nil {
+		res.FaultEvents = r.Faults.Applied()
+		res.FaultsActiveEnd = r.Faults.ActiveCount()
+	}
+	res.Killed = r.Net.KilledCount
+	res.Unroutable = r.Net.UnroutableCount
 	if r.rec != nil && r.Cfg.MetricsSink != nil {
 		r.Cfg.MetricsSink.Run(obs.RunMeta{Label: res.Label, Seed: r.Cfg.Seed, Load: res.Load}, r.rec)
 	}

@@ -81,6 +81,17 @@ type Result struct {
 	// run to run even at a fixed seed.
 	DetectBuildTime   Histogram
 	DetectAnalyzeTime Histogram
+
+	// Fault injection (whole run, not just the measurement window, since
+	// a schedule spans warmup too). FaultEvents counts schedule events
+	// applied; FaultsActiveEnd is the failed-resource count at the end of
+	// the run; Killed counts messages removed by faults, and Unroutable
+	// the subset dropped because no live route to their destination
+	// remained on the surviving graph.
+	FaultEvents     int64
+	FaultsActiveEnd int
+	Killed          int64
+	Unroutable      int64
 }
 
 // NormalizedDeadlocks returns deadlocks per message delivered (the paper's
@@ -157,6 +168,16 @@ func (r *Result) BlockedFraction() float64 {
 		return 0
 	}
 	return r.MeanBlocked / r.MeanActive
+}
+
+// KilledFraction returns the fraction of settled messages (delivered or
+// killed) that fault injection removed.
+func (r *Result) KilledFraction() float64 {
+	den := r.Delivered + r.Killed
+	if den == 0 {
+		return 0
+	}
+	return float64(r.Killed) / float64(den)
 }
 
 func ratio(num, den int64) float64 {

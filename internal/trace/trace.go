@@ -33,6 +33,9 @@ const (
 	RecoveryStart
 	// RecoveryDone: the victim was fully absorbed.
 	RecoveryDone
+	// Killed: the message was removed by a fault (dead channel or node,
+	// or unroutable on the surviving graph).
+	Killed
 )
 
 // String returns the event kind name.
@@ -54,13 +57,15 @@ func (k Kind) String() string {
 		return "recovery-start"
 	case RecoveryDone:
 		return "recovery-done"
+	case Killed:
+		return "killed"
 	default:
 		return fmt.Sprintf("Kind(%d)", int8(k))
 	}
 }
 
 // NumKinds is the number of event kinds.
-const NumKinds = int(RecoveryDone) + 1
+const NumKinds = int(Killed) + 1
 
 // Event is one traced transition.
 type Event struct {

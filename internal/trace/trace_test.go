@@ -9,7 +9,7 @@ import (
 )
 
 func TestKindStrings(t *testing.T) {
-	kinds := []Kind{Queued, Injected, Allocated, Blocked, Unblocked, Delivered, RecoveryStart, RecoveryDone}
+	kinds := []Kind{Queued, Injected, Allocated, Blocked, Unblocked, Delivered, RecoveryStart, RecoveryDone, Killed}
 	if len(kinds) != NumKinds {
 		t.Fatalf("NumKinds = %d, enumerated %d", NumKinds, len(kinds))
 	}
