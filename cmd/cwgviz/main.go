@@ -2,10 +2,17 @@
 // channel wait-for graph at the moment of detection in Graphviz DOT format,
 // with knot vertices highlighted, plus the paper-style characterization of
 // each deadlock (deadlock set, resource set, knot cycle density, dependent
-// messages).
+// messages) and its replayed formation metrics (first blocked member, knot
+// closure cycle, detection lag).
 //
 //	cwgviz -routing dor -uni -load 0.9 > deadlock.dot
 //	dot -Tsvg deadlock.dot -o deadlock.svg
+//
+// With -at-cycle the dumped graph is not the detection-time CWG but the
+// event-sourced reconstruction at an earlier cycle, so the knot can be
+// watched assembling:
+//
+//	cwgviz -routing dor -uni -load 0.9 -at-cycle 3000 > forming.dot
 package main
 
 import (
@@ -33,16 +40,23 @@ func main() {
 	flag.Float64Var(&cfg.Load, "load", 0.9, "normalized offered load")
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
 	maxCycles := flag.Int("max-cycles", 200000, "give up after this many simulation cycles")
+	atCycle := flag.Int64("at-cycle", -1, "dump the replayed CWG at this cycle instead of detection time")
+	flag.IntVar(&cfg.ForensicsDepth, "forensics-depth", 1<<16, "resource-event ring size for formation replay (0 disables)")
 	flag.Parse()
 	cfg.Bidirectional = !*uni
 	cfg.Recover = false // freeze the first deadlock for inspection
 	cfg.WarmupCycles = 0
+	if *atCycle >= 0 && cfg.ForensicsDepth <= 0 {
+		fmt.Fprintln(os.Stderr, "cwgviz: -at-cycle requires -forensics-depth > 0")
+		os.Exit(1)
+	}
 
 	r, err := sim.NewRunner(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cwgviz:", err)
 		os.Exit(1)
 	}
+	label := func(vc message.VC) string { return r.Net.VCString(vc) }
 	for cycle := 0; cycle < *maxCycles; cycle++ {
 		r.StepCycle()
 		if r.Net.Now()%int64(cfg.DetectEvery) != 0 {
@@ -58,8 +72,30 @@ func main() {
 		for i, d := range an.Deadlocks {
 			fmt.Fprintf(os.Stderr, "  deadlock %d: %s, deadlock set %v (%d msgs), resource set %d VCs, knot %d VCs, %d cycles, %d dependent\n",
 				i, d.Kind, d.DeadlockSet, len(d.DeadlockSet), len(d.ResourceSet), len(d.KnotVCs), d.KnotCycles, len(d.Dependent))
+			if r.Forensics != nil {
+				if f := r.Forensics.Analyze(r.Net.Now(), &d); f != nil {
+					trunc := ""
+					if f.Truncated {
+						trunc = " (ring truncated; closure is an upper bound)"
+					}
+					fmt.Fprintf(os.Stderr, "    formation: first member blocked at %d, knot closed at %d (%d cycles forming, closed by msg %d), detected %d cycles later%s\n",
+						f.FirstBlocked, f.KnotClosed, f.FormationCycles, f.ClosedBy, f.DetectionLag, trunc)
+				}
+			}
 		}
-		fmt.Print(g.DOT(func(vc message.VC) string { return r.Net.VCString(vc) }))
+		if *atCycle >= 0 {
+			rg, ok := r.Forensics.CWGAt(*atCycle)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "cwgviz: cycle %d is outside the replayable window [%d, %d]\n",
+					*atCycle, r.Forensics.MinReplayCycle(), r.Net.Now())
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "replayed CWG at cycle %d: %d vertices, %d arcs\n",
+				*atCycle, rg.NumVertices(), rg.NumEdges())
+			fmt.Print(rg.DOT(label))
+			return
+		}
+		fmt.Print(g.DOT(label))
 		return
 	}
 	fmt.Fprintf(os.Stderr, "cwgviz: no deadlock within %d cycles (try a higher load, -uni, or -routing dor)\n", *maxCycles)

@@ -77,6 +77,21 @@ func run() int {
 	default:
 		cfg.Tracer = tracers
 	}
+	var spansFile *os.File
+	if extras.SpansOut != "" {
+		f, err := os.Create(extras.SpansOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexsim:", err)
+			return 1
+		}
+		spansFile = f
+		cfg.Spans = trace.NewPerfetto(f)
+	}
+	var heatmap *obs.Heatmap
+	if extras.HeatmapOut != "" {
+		heatmap = &obs.Heatmap{}
+		cfg.Heatmap = heatmap
+	}
 
 	sink, sinkClose, err := common.OpenMetricsSink()
 	if err != nil {
@@ -206,6 +221,34 @@ func run() int {
 			return 1
 		}
 		fmt.Fprintf(os.Stderr, "flexsim: wrote %d incident(s) to %s\n", incidents.Len(), extras.IncidentsOut)
+	}
+	if spansFile != nil {
+		werr := cfg.Spans.Close()
+		if cerr := spansFile.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "flexsim:", werr)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "flexsim: wrote Perfetto trace to %s (load in ui.perfetto.dev)\n", extras.SpansOut)
+	}
+	if heatmap != nil {
+		f, err := os.Create(extras.HeatmapOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexsim:", err)
+			return 1
+		}
+		werr := heatmap.WriteCSV(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "flexsim:", werr)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "flexsim: wrote %d-VC heatmap to %s (%d samples)\n",
+			heatmap.VCs(), extras.HeatmapOut, heatmap.Samples())
 	}
 	if sinkClose != nil {
 		if err := sinkClose(); err != nil {

@@ -88,6 +88,8 @@ type Extras struct {
 	TraceJSON     string
 	IncidentsOut  string
 	IncidentsDOT  bool
+	SpansOut      string
+	HeatmapOut    string
 	FaultSchedule string
 }
 
@@ -204,6 +206,18 @@ var ConfigDefs = []Def[configTarget]{
 	{"incidents-dot", "include a Graphviz knot-subgraph snapshot in each incident",
 		func(fs *flag.FlagSet, t configTarget, usage string) {
 			fs.BoolVar(&t.X.IncidentsDOT, "incidents-dot", false, usage)
+		}},
+	{"spans-out", "write the run as a Chrome trace-event (Perfetto) JSON file of per-message spans and detector passes",
+		func(fs *flag.FlagSet, t configTarget, usage string) {
+			fs.StringVar(&t.X.SpansOut, "spans-out", "", usage)
+		}},
+	{"forensics-depth", "resource-event ring size for deadlock formation replay (0 = off; incidents gain formation metrics)",
+		func(fs *flag.FlagSet, t configTarget, usage string) {
+			fs.IntVar(&t.C.ForensicsDepth, "forensics-depth", 0, usage)
+		}},
+	{"heatmap-out", "write a per-VC occupancy/block heatmap CSV to this file after the run",
+		func(fs *flag.FlagSet, t configTarget, usage string) {
+			fs.StringVar(&t.X.HeatmapOut, "heatmap-out", "", usage)
 		}},
 	{"fault-link-mttf", faultMTTFUsage,
 		func(fs *flag.FlagSet, t configTarget, usage string) {

@@ -23,6 +23,7 @@ func TestBindFlexsimSurface(t *testing.T) {
 	err := fs.Parse([]string{
 		"-k", "8", "-vcs", "3", "-routing", "dor", "-load", "0.9",
 		"-uni", "-no-recover", "-census",
+		"-spans-out", "trace.json", "-forensics-depth", "4096", "-heatmap-out", "heat.csv",
 		"-timeout", "90s", "-cache-dir", "/tmp/c", "-resume=false",
 	})
 	if err != nil {
@@ -32,6 +33,12 @@ func TestBindFlexsimSurface(t *testing.T) {
 
 	if cfg.K != 8 || cfg.VCs != 3 || cfg.Routing != "dor" || cfg.Load != 0.9 {
 		t.Errorf("config flags misbound: %+v", cfg)
+	}
+	if cfg.ForensicsDepth != 4096 {
+		t.Errorf("ForensicsDepth = %d, want 4096", cfg.ForensicsDepth)
+	}
+	if x.SpansOut != "trace.json" || x.HeatmapOut != "heat.csv" {
+		t.Errorf("forensics outputs misbound: %+v", x)
 	}
 	if cfg.Bidirectional || cfg.Recover || !cfg.CycleCensus {
 		t.Errorf("inverted extras misapplied: Bidirectional=%v Recover=%v Census=%v",

@@ -2,18 +2,24 @@
 // and runs true deadlock detection on each, demonstrating the full taxonomy:
 // single-cycle deadlocks (static and adaptivity-exhausted), multi-cycle
 // deadlocks, cyclic non-deadlocks, and dependent messages. Pass -dot to also
-// emit Graphviz sources.
+// emit Graphviz sources, or -spans-out to additionally run a small live
+// deadlocking simulation and export its Perfetto trace (message lifecycle
+// spans + detector passes, loadable in ui.perfetto.dev).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"flexsim/internal/cwg"
+	"flexsim/internal/sim"
+	"flexsim/internal/trace"
 )
 
 func main() {
 	dot := flag.Bool("dot", false, "also print Graphviz DOT for each scenario")
+	spansOut := flag.String("spans-out", "", "run a live deadlocking sim and write its Perfetto trace here")
 	flag.Parse()
 
 	scenarios := []struct {
@@ -65,4 +71,42 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	if *spansOut != "" {
+		if err := writeSpans(*spansOut); err != nil {
+			fmt.Fprintln(os.Stderr, "anatomy:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeSpans runs the deterministic saturating quick configuration — the
+// same shape the figures dissect statically, but live — and exports the
+// whole run as a Chrome trace-event file: one track per message (queued /
+// active / blocked / recovery-drain spans) plus the detector-pass track.
+func writeSpans(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	spans := trace.NewPerfetto(f)
+
+	c := sim.Quick()
+	c.Load = 1.0 // past saturation: deadlocks form, victims drain
+	c.Spans = spans
+	res, err := sim.Run(c)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	werr := spans.Close()
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Printf("=== Live run ===\nwrote Perfetto trace to %s (%d deadlocks over %d cycles; load in ui.perfetto.dev)\n",
+		path, res.Deadlocks, res.Cycles)
+	return nil
 }

@@ -101,13 +101,31 @@ type Config struct {
 	// knot ground truth at each pass (see TimeoutCounts).
 	TimeoutThresholds []int64
 	// Observer, if non-nil, is notified of every detected deadlock after
-	// victim selection (and recovery initiation, when enabled). The hook
+	// victim selection but before recovery is initiated, so forensic
+	// observers can replay the still-intact deadlocked state. The hook
 	// is a single nil-guarded branch; a nil Observer costs nothing.
 	Observer Observer
 	// SnapshotDOT additionally renders each deadlock's knot subgraph in
 	// Graphviz format into the Observation (post-mortem artifacts;
 	// allocates, so leave off on perf-sensitive runs).
 	SnapshotDOT bool
+	// OnPass, if non-nil, receives a PassInfo for every invocation,
+	// including gated ones (timeline exporters). Nil costs one branch.
+	OnPass func(PassInfo)
+}
+
+// PassInfo summarizes one detector invocation for the OnPass hook.
+type PassInfo struct {
+	// Cycle is the invocation cycle.
+	Cycle int64
+	// BuildNs and AnalyzeNs are the measured wall-clock snapshot+build and
+	// knot-analysis times (zero for gated passes, which do neither).
+	BuildNs, AnalyzeNs int64
+	// Deadlocks is the number of deadlocks found this pass.
+	Deadlocks int
+	// Gated reports a change-gated invocation that reused the previous
+	// deadlock-free analysis.
+	Gated bool
 }
 
 // Observation describes one detected deadlock as handed to an Observer.
@@ -317,6 +335,9 @@ func (d *Detector) DetectNow() cwg.Analysis {
 	if d.gateValid && d.lastClean && epoch == d.lastEpoch && d.gateable() {
 		d.Stats.Invocations++
 		d.Stats.Gated++
+		if d.cfg.OnPass != nil {
+			d.cfg.OnPass(PassInfo{Cycle: d.net.Now(), Gated: true})
+		}
 		return d.lastAnalysis
 	}
 	if d.builder == nil {
@@ -333,8 +354,9 @@ func (d *Detector) DetectNow() cwg.Analysis {
 		MaxCycles:        d.cfg.MaxCycles,
 		MaxWork:          d.cfg.MaxWork,
 	})
-	d.Stats.BuildTime.Observe(int64(t1.Sub(t0)))
-	d.Stats.AnalyzeTime.Observe(int64(time.Since(t1)))
+	buildNs, analyzeNs := int64(t1.Sub(t0)), int64(time.Since(t1))
+	d.Stats.BuildTime.Observe(buildNs)
+	d.Stats.AnalyzeTime.Observe(analyzeNs)
 	d.Stats.Invocations++
 	if d.cfg.CycleCensus {
 		d.Stats.CensusSamples++
@@ -363,16 +385,15 @@ func (d *Detector) DetectNow() cwg.Analysis {
 		dl := &an.Deadlocks[i]
 		d.record(dl)
 		var victim message.ID = -1
+		var vm *message.Message
 		if d.cfg.Recover {
-			if v := d.selectVictim(dl); v != nil {
-				victim = v.ID
-				d.net.Absorb(v)
+			if vm = d.selectVictim(dl); vm != nil {
+				victim = vm.ID
 			}
 		}
-		if d.cfg.KeepEvents {
-			d.Events = append(d.Events, Event{Cycle: d.net.Now(), Deadlock: *dl, Victim: victim})
-		}
 		if d.cfg.Observer != nil {
+			// Observed before Absorb mutates the victim, so forensic
+			// observers replay from the intact deadlocked state.
 			obs := Observation{
 				Cycle:    d.net.Now(),
 				Deadlock: dl,
@@ -384,12 +405,22 @@ func (d *Detector) DetectNow() cwg.Analysis {
 			}
 			d.cfg.Observer.ObserveDeadlock(obs)
 		}
+		if vm != nil {
+			d.net.Absorb(vm)
+		}
+		if d.cfg.KeepEvents {
+			d.Events = append(d.Events, Event{Cycle: d.net.Now(), Deadlock: *dl, Victim: victim})
+		}
 	}
 	d.lastClean = len(an.Deadlocks) == 0
 	d.lastEpoch = epoch
 	d.gateValid = true
 	if d.lastClean {
 		d.lastAnalysis = an
+	}
+	if d.cfg.OnPass != nil {
+		d.cfg.OnPass(PassInfo{Cycle: d.net.Now(), BuildNs: buildNs,
+			AnalyzeNs: analyzeNs, Deadlocks: len(an.Deadlocks)})
 	}
 	return an
 }

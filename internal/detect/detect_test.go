@@ -351,3 +351,96 @@ func TestPassTimingRecorded(t *testing.T) {
 		t.Error("timing not recorded after reset")
 	}
 }
+
+// observerFunc adapts a closure to the Observer interface.
+type observerFunc func(Observation)
+
+func (f observerFunc) ObserveDeadlock(o Observation) { f(o) }
+
+// TestOnPassFullReport: a full pass reports its cycle, timings, and
+// deadlock count through the OnPass hook.
+func TestOnPassFullReport(t *testing.T) {
+	n := ringNet(t)
+	var passes []PassInfo
+	d := New(n, Config{Every: 50, Recover: false,
+		OnPass: func(p PassInfo) { passes = append(passes, p) }})
+	d.DetectNow()
+	if len(passes) != 1 {
+		t.Fatalf("OnPass called %d times, want 1", len(passes))
+	}
+	p := passes[0]
+	if p.Gated {
+		t.Error("first pass reported as gated")
+	}
+	if p.Cycle != n.Now() || p.Deadlocks != 1 {
+		t.Errorf("pass = %+v, want cycle %d with 1 deadlock", p, n.Now())
+	}
+	if p.BuildNs < 0 || p.AnalyzeNs < 0 {
+		t.Errorf("negative timings: %+v", p)
+	}
+}
+
+// TestOnPassGated: a change-gated invocation still fires OnPass, flagged
+// gated with no rebuild timings, so trace timelines show every pass.
+func TestOnPassGated(t *testing.T) {
+	topo := topology.MustNew(4, 1, true)
+	n, err := network.New(network.Params{Topo: topo, VCs: 1, BufferDepth: 2, Routing: routing.DOR{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var passes []PassInfo
+	d := New(n, Config{Every: 50, Recover: true,
+		OnPass: func(p PassInfo) { passes = append(passes, p) }})
+	d.DetectNow() // full, clean: arms the gate
+	d.DetectNow() // epoch unchanged: gated
+	if len(passes) != 2 {
+		t.Fatalf("OnPass called %d times, want 2", len(passes))
+	}
+	if passes[0].Gated || !passes[1].Gated {
+		t.Fatalf("gating sequence = %v/%v, want full then gated", passes[0].Gated, passes[1].Gated)
+	}
+	if g := passes[1]; g.BuildNs != 0 || g.AnalyzeNs != 0 || g.Deadlocks != 0 {
+		t.Errorf("gated pass carries work: %+v", g)
+	}
+	if d.Stats.Gated != 1 {
+		t.Errorf("Stats.Gated = %d", d.Stats.Gated)
+	}
+}
+
+// TestObserverSeesPreRecoveryState: the observer fires after victim
+// selection but before Absorb, so forensic observers can replay from the
+// intact deadlocked state (the victim is still blocked and Active).
+func TestObserverSeesPreRecoveryState(t *testing.T) {
+	n := ringNet(t)
+	var victim message.ID = -1
+	d := New(n, Config{Every: 50, Recover: true,
+		Observer: observerFunc(func(o Observation) {
+			victim = o.Victim
+			for _, m := range n.ActiveMessages() {
+				if m.ID == o.Victim {
+					if !m.Blocked || m.Status != message.Active {
+						t.Errorf("observer saw victim %d already mutated: blocked=%v status=%v",
+							m.ID, m.Blocked, m.Status)
+					}
+					return
+				}
+			}
+			t.Errorf("victim %d not found live during observation", o.Victim)
+		})})
+	d.DetectNow()
+	if victim < 0 {
+		t.Fatal("observer never fired with a victim")
+	}
+	// After the pass returns, recovery has started: the victim is now
+	// absorbing, not blocked.
+	for _, m := range n.ActiveMessages() {
+		if m.ID == victim {
+			if m.Blocked || m.Status != message.Recovering {
+				t.Fatalf("victim %d not recovering after pass: blocked=%v status=%v",
+					m.ID, m.Blocked, m.Status)
+			}
+			return
+		}
+	}
+	t.Fatal("victim vanished immediately after the pass")
+}

@@ -473,7 +473,7 @@ func TrafficPatterns(o Options) ([]*stats.Table, error) {
 func Performance(o Options) ([]*stats.Table, error) {
 	t := stats.NewTable("Supplementary: throughput/latency vs load",
 		"config", "load", "throughput", "offered", "latency", "lat_p95", "lat_p99", "pct_blocked",
-		"det_build_us", "det_analyze_us", "sat")
+		"det_build_us", "det_build_p95_us", "det_analyze_us", "det_analyze_p95_us", "sat")
 	for _, spec := range []struct {
 		alg string
 		vcs int
@@ -491,7 +491,8 @@ func Performance(o Options) ([]*stats.Table, error) {
 			t.AddRow(c.Label, r.Load, r.Throughput(), r.OfferedRate(), r.MeanLatency(),
 				r.Latency.Quantile(0.95), r.Latency.Quantile(0.99),
 				100*r.BlockedFraction(),
-				r.DetectBuildTime.Mean()/1e3, r.DetectAnalyzeTime.Mean()/1e3,
+				r.DetectBuildTime.Mean()/1e3, float64(r.DetectBuildTime.Quantile(0.95))/1e3,
+				r.DetectAnalyzeTime.Mean()/1e3, float64(r.DetectAnalyzeTime.Quantile(0.95))/1e3,
 				r.Saturated)
 		}
 	}

@@ -212,6 +212,9 @@ func (n *Network) Kill(m *message.Message) {
 	}
 	m.Consumed += m.SrcRemaining
 	m.SrcRemaining = 0
+	if m.Blocked {
+		n.logRes(ResUnblock, m.ID, message.NoVC, m.Wants)
+	}
 	m.Blocked = false
 	m.Wants = nil
 	m.Status = message.Killed

@@ -1,0 +1,155 @@
+package network
+
+import (
+	"testing"
+
+	"flexsim/internal/message"
+	"flexsim/internal/routing"
+	"flexsim/internal/topology"
+)
+
+// countRes tallies retained events by kind.
+func countRes(l *ResourceLog) map[ResKind]int {
+	counts := make(map[ResKind]int)
+	for _, e := range l.Events(nil) {
+		counts[e.Kind]++
+	}
+	return counts
+}
+
+// TestResourceLogDeliveredLifecycle: one uncontended delivery records an
+// acquire per VC (injection + each hop) and a release per VC, no blocking.
+func TestResourceLogDeliveredLifecycle(t *testing.T) {
+	topo := topology.MustNew(8, 2, true)
+	n, err := New(Params{Topo: topo, VCs: 1, BufferDepth: 2, Routing: routing.DOR{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewResourceLog(1024)
+	n.SetResourceLog(l)
+	src := topo.Node([]int{0, 0})
+	dst := topo.Node([]int{2, 1}) // 3 hops
+	n.Inject(src, dst, 4)
+	for i := 0; i < 100; i++ {
+		n.Step()
+	}
+	counts := countRes(l)
+	if counts[ResAcquire] != 4 || counts[ResRelease] != 4 {
+		t.Fatalf("acquire=%d release=%d, want 4/4 (events %v)", counts[ResAcquire], counts[ResRelease], l.Events(nil))
+	}
+	if counts[ResBlock] != 0 || counts[ResUnblock] != 0 {
+		t.Fatalf("blocking events on an empty network: %v", counts)
+	}
+	if l.Wrapped() {
+		t.Fatal("ring wrapped below capacity")
+	}
+	if l.MinReplayCycle() != 0 {
+		t.Fatalf("MinReplayCycle = %d, want 0 (full history)", l.MinReplayCycle())
+	}
+	// Acquires carry the VC; each release matches a prior acquire of the
+	// same message front-first.
+	var acquired, released []message.VC
+	for _, e := range l.Events(nil) {
+		switch e.Kind {
+		case ResAcquire:
+			if e.VC == message.NoVC {
+				t.Fatalf("acquire without VC: %+v", e)
+			}
+			acquired = append(acquired, e.VC)
+		case ResRelease:
+			released = append(released, e.VC)
+		}
+	}
+	for i := range acquired {
+		if acquired[i] != released[i] {
+			t.Fatalf("release order %v != acquisition order %v", released, acquired)
+		}
+	}
+}
+
+// TestResourceLogBlockWantsAndRecovery: a forced 4-ring deadlock records
+// block events with copied candidate sets, and recovery records the
+// victim's unblock with its pre-clear wants.
+func TestResourceLogBlockWantsAndRecovery(t *testing.T) {
+	topo := topology.MustNew(4, 1, false)
+	n, err := New(Params{Topo: topo, VCs: 1, BufferDepth: 2, Routing: routing.DOR{}, RecoveryDrainRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewResourceLog(4096)
+	n.SetResourceLog(l)
+	for s := 0; s < 4; s++ {
+		n.Inject(s, (s+2)%4, 8)
+	}
+	for i := 0; i < 20; i++ {
+		n.Step()
+	}
+	counts := countRes(l)
+	if counts[ResBlock] != 4 {
+		t.Fatalf("block events = %d, want 4", counts[ResBlock])
+	}
+	for _, e := range l.Events(nil) {
+		if e.Kind == ResBlock && len(e.Wants) == 0 {
+			t.Fatalf("block event without wants: %+v", e)
+		}
+	}
+	victim := n.ActiveMessages()[0]
+	wantsAtBlock := append([]message.VC(nil), victim.Wants...)
+	n.Absorb(victim)
+	unblocks := 0
+	for _, e := range l.Events(nil) {
+		if e.Kind != ResUnblock {
+			continue
+		}
+		unblocks++
+		if e.Msg == victim.ID {
+			if len(e.Wants) != len(wantsAtBlock) {
+				t.Fatalf("victim unblock wants %v, want %v", e.Wants, wantsAtBlock)
+			}
+			for i := range e.Wants {
+				if e.Wants[i] != wantsAtBlock[i] {
+					t.Fatalf("victim unblock wants %v, want %v", e.Wants, wantsAtBlock)
+				}
+			}
+		}
+	}
+	if unblocks != 1 {
+		t.Fatalf("unblock events after absorb = %d, want 1 (the victim)", unblocks)
+	}
+	// Draining the victim must eventually release all its VCs and unblock
+	// the three survivors.
+	for i := 0; i < 500; i++ {
+		n.Step()
+	}
+	counts = countRes(l)
+	if counts[ResUnblock] != 4 {
+		t.Fatalf("unblock events = %d, want 4 (victim + 3 survivors)", counts[ResUnblock])
+	}
+}
+
+// TestResourceLogBounded: the ring evicts oldest-first and reports its
+// replay horizon conservatively once wrapped.
+func TestResourceLogBounded(t *testing.T) {
+	l := NewResourceLog(4)
+	for i := int64(1); i <= 10; i++ {
+		l.record(i, ResAcquire, message.ID(i), message.VC(i), nil)
+	}
+	if l.Len() != 4 || l.Total() != 10 || !l.Wrapped() {
+		t.Fatalf("len=%d total=%d wrapped=%v", l.Len(), l.Total(), l.Wrapped())
+	}
+	evs := l.Events(nil)
+	if len(evs) != 4 || evs[0].Cycle != 7 || evs[3].Cycle != 10 {
+		t.Fatalf("retained %v, want cycles 7..10", evs)
+	}
+	if l.OldestCycle() != 7 || l.MinReplayCycle() != 7 {
+		t.Fatalf("oldest=%d minReplay=%d, want 7/7", l.OldestCycle(), l.MinReplayCycle())
+	}
+	// Wants are copied at record time, not aliased.
+	wants := []message.VC{1, 2}
+	l.record(11, ResBlock, 1, message.NoVC, wants)
+	wants[0] = 99
+	evs = l.Events(nil)
+	if got := evs[len(evs)-1].Wants[0]; got != 1 {
+		t.Fatalf("wants aliased: %v", got)
+	}
+}

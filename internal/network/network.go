@@ -102,6 +102,11 @@ type Network struct {
 	// healthy network, so fault-free runs pay one nil check per phase.
 	faults *faultState
 
+	// resLog, if attached, records every epoch-bumping resource mutation
+	// for deadlock-formation replay (see forensics.go); nil costs one
+	// branch per mutation.
+	resLog *ResourceLog
+
 	// Counters (monotonic).
 	DeliveredCount int64
 	RecoveredCount int64
@@ -365,6 +370,7 @@ func (n *Network) startInjections() {
 		m.InjectTime = n.now
 		n.active = append(n.active, m)
 		n.resEpoch++
+		n.logRes(ResAcquire, m.ID, vc, nil)
 		n.trace(trace.Injected, m.ID, vc, node)
 	}
 }
@@ -425,17 +431,20 @@ func (n *Network) allocatePhase() {
 				m.Acquire(vc)
 				n.resEpoch++
 				if m.Blocked {
+					n.logRes(ResUnblock, m.ID, message.NoVC, m.Wants)
 					m.Blocked = false
 					m.Wants = m.Wants[:0]
 					n.trace(trace.Unblocked, m.ID, vc, here)
 				}
+				n.logRes(ResAcquire, m.ID, vc, nil)
 				n.trace(trace.Allocated, m.ID, vc, here)
 				granted = true
 				break
 			}
 		}
 		if !granted {
-			if !m.Blocked {
+			newly := !m.Blocked
+			if newly {
 				m.Blocked = true
 				m.BlockedSince = n.now
 				n.resEpoch++
@@ -444,6 +453,9 @@ func (n *Network) allocatePhase() {
 			m.Wants = m.Wants[:0]
 			for _, c := range n.candBuf {
 				m.Wants = append(m.Wants, n.NetVC(c.Ch, c.VC))
+			}
+			if newly {
+				n.logRes(ResBlock, m.ID, message.NoVC, m.Wants)
 			}
 			n.blocked++
 		}
@@ -614,6 +626,7 @@ func (n *Network) eject(m *message.Message) {
 		m.Status = message.Delivered
 		m.DeliverTime = n.now
 		if m.Blocked {
+			n.logRes(ResUnblock, m.ID, message.NoVC, m.Wants)
 			m.Blocked = false
 			n.resEpoch++
 		}
@@ -629,6 +642,7 @@ func (n *Network) releasePhase() {
 	out := n.active[:0]
 	for _, m := range n.active {
 		for m.Released < len(m.Path) && m.Departed[m.Released] == int32(m.Len) {
+			n.logRes(ResRelease, m.ID, m.Path[m.Released], nil)
 			n.owner[m.Path[m.Released]] = nil
 			m.Released++
 			n.resEpoch++
@@ -661,6 +675,9 @@ func (n *Network) Absorb(m *message.Message) {
 		return
 	}
 	m.Status = message.Recovering
+	if m.Blocked {
+		n.logRes(ResUnblock, m.ID, message.NoVC, m.Wants)
+	}
 	m.Blocked = false
 	m.Wants = m.Wants[:0]
 	n.resEpoch++

@@ -1,0 +1,290 @@
+package obs
+
+// Deadlock formation forensics: a detected deadlock tells us a knot exists
+// *now*; the paper's recovery-cost arguments (and Disha-style timeout
+// tuning) need to know when it *formed*. The FormationAnalyzer answers that
+// by event-sourced replay — it rewinds the network's resource log
+// (network.ResourceLog) from the live state back to any covered cycle,
+// rebuilding the exact VC ownership and wait relation there, and binary
+// searches for the cycle the knot closed. The search is sound because
+// knots are permanent until recovery intervenes: once closed, a knot's
+// members are frozen, so "knot present at cycle t" is monotone in t over
+// the window between formation and detection.
+
+import (
+	"sort"
+
+	"flexsim/internal/cwg"
+	"flexsim/internal/message"
+	"flexsim/internal/network"
+)
+
+// trajectoryPoints caps the blocked-set growth samples per incident.
+const trajectoryPoints = 8
+
+// Formation holds the formation metrics of one detected deadlock.
+type Formation struct {
+	// FirstBlocked is the cycle the first deadlock-set member entered its
+	// (still current) blocking episode.
+	FirstBlocked int64 `json:"first_blocked"`
+	// KnotClosed is the earliest replayable cycle at which the detected
+	// knot existed, binary-searched via CWG replay.
+	KnotClosed int64 `json:"knot_closed"`
+	// FormationCycles is KnotClosed - FirstBlocked: how long the deadlock
+	// took to assemble after its first member stalled.
+	FormationCycles int64 `json:"formation_cycles"`
+	// DetectionLag is detection cycle - KnotClosed: how long the closed
+	// knot sat undetected (bounded by the detector period plus gating).
+	DetectionLag int64 `json:"detection_lag"`
+	// ClosedBy is the message whose resource event at KnotClosed completed
+	// the knot, or -1 when it cannot be attributed.
+	ClosedBy int64 `json:"closed_by"`
+	// Truncated reports that the resource ring did not reach back to
+	// FirstBlocked, so KnotClosed is an upper bound (the knot may have
+	// closed before the ring's horizon).
+	Truncated bool `json:"truncated,omitempty"`
+	// Trajectory samples the blocked-message buildup between FirstBlocked
+	// and detection: total blocked messages and blocked deadlock-set
+	// members at evenly spaced replay cycles.
+	Trajectory []FormationPoint `json:"trajectory,omitempty"`
+}
+
+// FormationPoint is one sample of the blocked-set growth trajectory.
+type FormationPoint struct {
+	Cycle   int64 `json:"cycle"`
+	Blocked int   `json:"blocked"`
+	Members int   `json:"members"`
+}
+
+// replayMsg is one message's reconstructed resource state during a rewind.
+type replayMsg struct {
+	owned   []message.VC
+	blocked bool
+	wants   []message.VC
+}
+
+// FormationAnalyzer reconstructs CWGs at earlier cycles by rewinding the
+// network's resource log from the live state, and derives per-deadlock
+// formation metrics. It is owned by one run and not safe for concurrent
+// use; analyses run between simulation steps (the detector's Observer hook
+// fires before recovery mutates the deadlock).
+type FormationAnalyzer struct {
+	net *network.Network
+	log *network.ResourceLog
+
+	evBuf []network.ResourceEvent
+}
+
+// NewFormationAnalyzer builds an analyzer over a network and the resource
+// log attached to it.
+func NewFormationAnalyzer(net *network.Network, log *network.ResourceLog) *FormationAnalyzer {
+	return &FormationAnalyzer{net: net, log: log}
+}
+
+// MinReplayCycle returns the earliest cycle the analyzer can reconstruct
+// (see network.ResourceLog.MinReplayCycle).
+func (a *FormationAnalyzer) MinReplayCycle() int64 { return a.log.MinReplayCycle() }
+
+// rewind reconstructs per-message resource state at the end of cycle t by
+// applying the inverse of every logged event after t, newest first, to the
+// live state. Blocked flags and candidate sets restore from the wants
+// recorded on block/unblock events; ownership restores by popping acquires
+// and re-prepending releases (releases are front-first, so prepending in
+// reverse event order rebuilds the acquisition-ordered path, resurrecting
+// messages that retired inside the window).
+func (a *FormationAnalyzer) rewind(t int64) map[message.ID]*replayMsg {
+	st := make(map[message.ID]*replayMsg)
+	for _, m := range a.net.ActiveMessages() {
+		if m.OwnedCount() == 0 {
+			continue
+		}
+		r := &replayMsg{
+			owned:   m.OwnedVCs(nil),
+			blocked: m.Blocked && m.Status == message.Active,
+		}
+		if r.blocked {
+			r.wants = append([]message.VC(nil), m.Wants...)
+		}
+		st[m.ID] = r
+	}
+	get := func(id message.ID) *replayMsg {
+		r := st[id]
+		if r == nil {
+			r = &replayMsg{}
+			st[id] = r
+		}
+		return r
+	}
+	a.evBuf = a.log.Events(a.evBuf[:0])
+	for i := len(a.evBuf) - 1; i >= 0; i-- {
+		e := &a.evBuf[i]
+		if e.Cycle <= t {
+			break
+		}
+		switch e.Kind {
+		case network.ResAcquire:
+			r := get(e.Msg)
+			if n := len(r.owned); n > 0 && r.owned[n-1] == e.VC {
+				r.owned = r.owned[:n-1]
+			}
+		case network.ResRelease:
+			r := get(e.Msg)
+			r.owned = append(r.owned, 0)
+			copy(r.owned[1:], r.owned)
+			r.owned[0] = e.VC
+		case network.ResBlock:
+			r := get(e.Msg)
+			r.blocked, r.wants = false, nil
+		case network.ResUnblock:
+			r := get(e.Msg)
+			r.blocked, r.wants = true, e.Wants
+		}
+	}
+	return st
+}
+
+// snapshotMsgs converts reconstructed state into a CWG snapshot, messages
+// holding no resources excluded, sorted by id for deterministic output.
+func snapshotMsgs(st map[message.ID]*replayMsg) []cwg.Msg {
+	msgs := make([]cwg.Msg, 0, len(st))
+	for id, r := range st {
+		if len(r.owned) == 0 {
+			continue
+		}
+		msgs = append(msgs, cwg.Msg{ID: id, Owned: r.owned, Blocked: r.blocked, Wants: r.wants})
+	}
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i].ID < msgs[j].ID })
+	return msgs
+}
+
+// CWGAt rebuilds the channel wait-for graph as it stood at the end of
+// cycle t. It returns false when t is outside the replayable window
+// (after the current cycle, or before the resource ring's horizon).
+func (a *FormationAnalyzer) CWGAt(t int64) (*cwg.Graph, bool) {
+	if a == nil || t > a.net.Now() || t < a.log.MinReplayCycle() {
+		return nil, false
+	}
+	return cwg.Build(snapshotMsgs(a.rewind(t))), true
+}
+
+// knotAt reports whether the CWG at cycle t contains a knot overlapping
+// the given VC set.
+func (a *FormationAnalyzer) knotAt(t int64, knotVCs map[message.VC]bool) bool {
+	g := cwg.Build(snapshotMsgs(a.rewind(t)))
+	verts := g.VCs()
+	for _, knot := range g.FindKnots() {
+		for _, v := range knot {
+			if knotVCs[verts[v]] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Analyze derives the formation metrics for one deadlock detected at the
+// given cycle. It must run before recovery mutates the deadlock (the
+// detector's Observer hook satisfies this). Returns nil when the deadlock
+// set cannot be resolved against the live network.
+func (a *FormationAnalyzer) Analyze(cycle int64, dl *cwg.Deadlock) *Formation {
+	members := make(map[message.ID]bool, len(dl.DeadlockSet))
+	for _, id := range dl.DeadlockSet {
+		members[id] = true
+	}
+	first, found := int64(0), false
+	for _, m := range a.net.ActiveMessages() {
+		if members[m.ID] && m.Blocked {
+			if !found || m.BlockedSince < first {
+				first = m.BlockedSince
+			}
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+
+	knotVCs := make(map[message.VC]bool, len(dl.KnotVCs))
+	for _, vc := range dl.KnotVCs {
+		knotVCs[vc] = true
+	}
+	lo, truncated := first, false
+	if min := a.log.MinReplayCycle(); min > lo {
+		lo, truncated = min, true
+	}
+	// Smallest t in [lo, cycle] where the knot exists. P(cycle) holds by
+	// construction (the rewind of zero events is the state the detector
+	// just analyzed); permanence makes P monotone, so bisection is sound.
+	hi := cycle
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if a.knotAt(mid, knotVCs) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	closed := hi
+
+	f := &Formation{
+		FirstBlocked:    first,
+		KnotClosed:      closed,
+		FormationCycles: closed - first,
+		DetectionLag:    cycle - closed,
+		ClosedBy:        int64(a.closedBy(closed, members)),
+		Truncated:       truncated,
+	}
+	f.Trajectory = a.trajectory(first, cycle, members)
+	return f
+}
+
+// closedBy attributes the knot closure: the last resource event at the
+// closing cycle belonging to a deadlock-set member.
+func (a *FormationAnalyzer) closedBy(closed int64, members map[message.ID]bool) message.ID {
+	var id message.ID = -1
+	a.evBuf = a.log.Events(a.evBuf[:0])
+	for i := range a.evBuf {
+		e := &a.evBuf[i]
+		if e.Cycle > closed {
+			break
+		}
+		if e.Cycle == closed && members[e.Msg] {
+			id = e.Msg
+		}
+	}
+	return id
+}
+
+// trajectory samples the blocked-set buildup over [from, to] at up to
+// trajectoryPoints evenly spaced replayable cycles.
+func (a *FormationAnalyzer) trajectory(from, to int64, members map[message.ID]bool) []FormationPoint {
+	if min := a.log.MinReplayCycle(); min > from {
+		from = min
+	}
+	if from > to {
+		return nil
+	}
+	n := int64(trajectoryPoints)
+	if span := to - from + 1; span < n {
+		n = span
+	}
+	pts := make([]FormationPoint, 0, n)
+	for i := int64(0); i < n; i++ {
+		t := from
+		if n > 1 {
+			t = from + (to-from)*i/(n-1)
+		}
+		st := a.rewind(t)
+		p := FormationPoint{Cycle: t}
+		for id, r := range st {
+			if r.blocked && len(r.owned) > 0 {
+				p.Blocked++
+				if members[id] {
+					p.Members++
+				}
+			}
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}

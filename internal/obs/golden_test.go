@@ -35,6 +35,7 @@ func goldenRun(t *testing.T) (metricsCSV, incidentsJSONL string) {
 	c.MetricsSink = sink
 	c.Incidents = log
 	c.IncidentDOT = true
+	c.ForensicsDepth = 1 << 16 // formation metrics on every incident
 	res, err := sim.Run(c)
 	if err != nil {
 		t.Fatal(err)
@@ -82,6 +83,73 @@ func TestGoldenArtifacts(t *testing.T) {
 	}
 	checkGolden(t, "metrics.golden.csv", metricsCSV)
 	checkGolden(t, "incidents.golden.jsonl", incidentsJSONL)
+	assertFormation(t, incidentsJSONL)
+}
+
+// assertFormation checks the forensic invariants on every golden incident:
+// formation metrics present, knot closure no later than detection, no
+// earlier than the first blocked member, and a strictly positive formation
+// window for multi-message knots (members cannot all have stalled at once
+// in this run).
+func assertFormation(t *testing.T, jsonl string) {
+	t.Helper()
+	n := 0
+	for _, line := range strings.Split(strings.TrimSpace(jsonl), "\n") {
+		var inc obs.Incident
+		if err := json.Unmarshal([]byte(line), &inc); err != nil {
+			t.Fatalf("incident %d: %v", n, err)
+		}
+		f := inc.Formation
+		if f == nil {
+			t.Fatalf("incident %d lacks formation metrics", inc.Seq)
+		}
+		if f.KnotClosed > inc.Cycle {
+			t.Errorf("incident %d: knot closed at %d after detection at %d", inc.Seq, f.KnotClosed, inc.Cycle)
+		}
+		if f.FirstBlocked > f.KnotClosed {
+			t.Errorf("incident %d: first blocked %d after knot closure %d", inc.Seq, f.FirstBlocked, f.KnotClosed)
+		}
+		if f.FormationCycles != f.KnotClosed-f.FirstBlocked || f.DetectionLag != inc.Cycle-f.KnotClosed {
+			t.Errorf("incident %d: inconsistent durations %+v", inc.Seq, f)
+		}
+		if inc.DeadlockSet > 1 && f.FormationCycles <= 0 {
+			t.Errorf("incident %d: %d-message knot with formation window %d", inc.Seq, inc.DeadlockSet, f.FormationCycles)
+		}
+		if len(f.Trajectory) == 0 {
+			t.Errorf("incident %d: empty blocked-set trajectory", inc.Seq)
+		}
+		for i := 1; i < len(f.Trajectory); i++ {
+			if f.Trajectory[i].Cycle <= f.Trajectory[i-1].Cycle {
+				t.Errorf("incident %d: non-increasing trajectory cycles %+v", inc.Seq, f.Trajectory)
+			}
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no incidents to assert on")
+	}
+}
+
+// TestPrometheusExpositionGolden pins the /metrics exposition format: every
+// gauge must carry its # HELP and # TYPE lines and render the stored values
+// byte-for-byte.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	var live obs.Live
+	live.Store(obs.Gauges{
+		Cycle: 12345, Active: 210, Blocked: 87, Queued: 44,
+		Flits: 5120, Delivered: 9876, Recovered: 12, Generated: 9932,
+		Deadlocks: 7, Invocations: 246, Gated: 198,
+		FaultsActive: 3, MsgsKilled: 5,
+	})
+	var b strings.Builder
+	if err := live.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if c := strings.Count(out, "# HELP "); c == 0 || c != strings.Count(out, "# TYPE ") {
+		t.Fatalf("unbalanced HELP/TYPE lines:\n%s", out)
+	}
+	checkGolden(t, "prometheus.golden.txt", out)
 }
 
 // TestIncidentFaultContextGolden pins the incident schema under fault

@@ -1,0 +1,92 @@
+package obs_test
+
+import (
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"flexsim/internal/obs"
+	"flexsim/internal/sim"
+)
+
+// TestHeatmapAccumulatesAndExports: attaching a heatmap to a saturating run
+// (with no interval metrics configured — the heatmap alone must force the
+// recorder) accumulates per-VC occupancy and renders a dense, parseable CSV.
+func TestHeatmapAccumulatesAndExports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-config run")
+	}
+	hm := &obs.Heatmap{}
+	c := sim.Quick()
+	c.Load = 1.0
+	c.Heatmap = hm // MetricsEvery stays 0: Heatmap alone enables sampling
+	if _, err := sim.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if hm.Samples() == 0 || hm.VCs() == 0 {
+		t.Fatalf("no samples accumulated: samples=%d vcs=%d", hm.Samples(), hm.VCs())
+	}
+	anyOccupied := false
+	for vc := 0; vc < hm.VCs(); vc++ {
+		occ, blk := hm.Occupancy(vc), hm.BlockedFrac(vc)
+		if occ < 0 || occ > 1 || blk < 0 || blk > occ {
+			t.Fatalf("vc %d: occupancy %f blocked %f out of range", vc, occ, blk)
+		}
+		if occ > 0 {
+			anyOccupied = true
+		}
+	}
+	if !anyOccupied {
+		t.Fatal("saturating run left every VC idle")
+	}
+
+	var b strings.Builder
+	if err := hm.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != hm.VCs()+1 {
+		t.Fatalf("%d CSV rows for %d VCs", len(rows), hm.VCs())
+	}
+	header := strings.Join(rows[0], ",")
+	if header != "vc,label,samples,occupied,blocked,occupied_frac,blocked_frac" {
+		t.Fatalf("header = %q", header)
+	}
+	for i, row := range rows[1:] {
+		if row[0] != strconv.Itoa(i) {
+			t.Fatalf("row %d keyed %q", i, row[0])
+		}
+		if row[1] == "" {
+			t.Fatalf("row %d has no channel label", i)
+		}
+		frac, err := strconv.ParseFloat(row[5], 64)
+		if err != nil || frac < 0 || frac > 1 {
+			t.Fatalf("row %d occupied_frac %q: %v", i, row[5], err)
+		}
+	}
+
+	// Out-of-range queries are zero, not panics.
+	if hm.Occupancy(-1) != 0 || hm.Occupancy(hm.VCs()) != 0 {
+		t.Error("out-of-range occupancy not zero")
+	}
+}
+
+// TestHeatmapZeroValue: an unsampled heatmap writes a bare header and
+// reports zero everywhere.
+func TestHeatmapZeroValue(t *testing.T) {
+	var hm obs.Heatmap
+	if hm.Samples() != 0 || hm.VCs() != 0 || hm.Occupancy(0) != 0 {
+		t.Fatal("zero value not empty")
+	}
+	var b strings.Builder
+	if err := hm.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(b.String()); got != "vc,label,samples,occupied,blocked,occupied_frac,blocked_frac" {
+		t.Fatalf("zero-value CSV = %q", got)
+	}
+}

@@ -44,6 +44,10 @@ type Incident struct {
 	// Both are absent on healthy runs.
 	FaultsActive int      `json:"faults_active,omitempty"`
 	ActiveFaults []string `json:"active_faults,omitempty"`
+	// Formation holds the replayed formation metrics (first blocked, knot
+	// closure, detection lag, blocked-set trajectory); present when the
+	// log has a FormationAnalyzer (sim wires one for ForensicsDepth > 0).
+	Formation *Formation `json:"formation,omitempty"`
 	// Events holds the last trace events preceding detection (requires a
 	// trace.Ring wired as both the network tracer and LastEvents).
 	Events []trace.Event `json:"events,omitempty"`
@@ -67,6 +71,10 @@ type IncidentLog struct {
 	// active fault set in the incident (sim wires the fault injector's
 	// ActiveFaults here when a schedule is configured).
 	FaultContext func() []string
+	// Formation, if non-nil, annotates each incident with deadlock
+	// formation metrics replayed from the network's resource log (sim
+	// wires this when Config.ForensicsDepth > 0).
+	Formation *FormationAnalyzer
 
 	incidents []Incident
 	open      map[message.ID]int // victim id -> incident index, drain pending
@@ -89,6 +97,9 @@ func (l *IncidentLog) ObserveDeadlock(o detect.Observation) {
 		RecoveredCycle: -1,
 		DrainCycles:    -1,
 		KnotDOT:        o.KnotDOT,
+	}
+	if l.Formation != nil {
+		inc.Formation = l.Formation.Analyze(o.Cycle, o.Deadlock)
 	}
 	if l.FaultContext != nil {
 		if faults := l.FaultContext(); len(faults) > 0 {

@@ -31,8 +31,9 @@ const cacheFile = "results.jsonl"
 // runs. Fields of func/interface/pointer kind (Tracer, MetricsSink,
 // MetricsLive, Incidents) are runtime plumbing and are skipped by kind.
 var nonSemantic = map[string]bool{
-	"MetricsEvery": true,
-	"IncidentDOT":  true,
+	"MetricsEvery":   true,
+	"IncidentDOT":    true,
+	"ForensicsDepth": true,
 }
 
 // CanonicalConfig returns the canonical JSON encoding of a configuration:

@@ -12,6 +12,7 @@ import (
 	"flexsim/internal/obs"
 	"flexsim/internal/sim"
 	"flexsim/internal/stats"
+	"flexsim/internal/trace"
 )
 
 // goldenCanonical pins the canonical encoding of sim.Default(). If this test
@@ -83,6 +84,9 @@ func TestKeyIgnoresObservability(t *testing.T) {
 	c.IncidentDOT = true
 	c.MetricsSink = obs.NewCSVSink(&bytes.Buffer{})
 	c.Incidents = &obs.IncidentLog{}
+	c.ForensicsDepth = 1 << 16
+	c.Spans = trace.NewPerfetto(&bytes.Buffer{})
+	c.Heatmap = &obs.Heatmap{}
 	if got := Key(c); got != want {
 		t.Errorf("observability fields changed the key: got %s, want %s", got, want)
 	}

@@ -133,6 +133,23 @@ type Config struct {
 	Incidents    *obs.IncidentLog
 	IncidentDOT  bool
 
+	// Spans, if non-nil, streams the run as a Chrome trace-event (Perfetto)
+	// timeline: per-message lifecycle spans derived from the trace stream
+	// plus a detector track of pass spans. sim joins it into the tracer
+	// fan-out and wires the detector's OnPass hook; the caller must Close
+	// it after the run to terminate the JSON array. Pointer-typed, so it is
+	// excluded from the content-addressed cache key.
+	Spans *trace.PerfettoWriter
+	// ForensicsDepth > 0 attaches a resource-event ring of that many
+	// events to the network and a FormationAnalyzer (Runner.Forensics);
+	// when Incidents is also set, every incident gains replayed formation
+	// metrics. Observability-only: excluded from the cache key.
+	ForensicsDepth int
+	// Heatmap, if non-nil, accumulates per-VC occupancy/block counts on
+	// the metrics cadence (forcing a recorder even when MetricsEvery is 0).
+	// Pointer-typed, so it is excluded from the cache key.
+	Heatmap *obs.Heatmap
+
 	// Label for result tables; defaults to "<routing><vcs>".
 	Label string
 }
@@ -183,6 +200,9 @@ type Runner struct {
 	Proc     *traffic.Process
 	Workload workload.Driver // nil for open-loop traffic
 	Faults   *fault.Injector // nil when no fault schedule is configured
+	// Forensics replays deadlock formation from the network's resource log
+	// (nil unless Cfg.ForensicsDepth > 0).
+	Forensics *obs.FormationAnalyzer
 
 	res        stats.Result
 	rec        *obs.Recorder
@@ -220,6 +240,16 @@ func NewRunner(c Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	tracer := c.Tracer
+	if c.Spans != nil {
+		// Join the Perfetto writer into the fan-out without disturbing the
+		// caller's tracer.
+		if tracer != nil {
+			tracer = trace.Multi{tracer, c.Spans}
+		} else {
+			tracer = c.Spans
+		}
+	}
 	net, err := network.New(network.Params{
 		Topo:              topo,
 		VCs:               c.VCs,
@@ -227,7 +257,7 @@ func NewRunner(c Config) (*Runner, error) {
 		Routing:           alg,
 		RecoveryDrainRate: c.RecoveryDrainRate,
 		CheckInvariants:   c.CheckInvariants,
-		Tracer:            c.Tracer,
+		Tracer:            tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -265,6 +295,12 @@ func NewRunner(c Config) (*Runner, error) {
 	if c.Incidents != nil {
 		dcfg.Observer = c.Incidents
 		dcfg.SnapshotDOT = c.IncidentDOT
+	}
+	if c.Spans != nil {
+		spans := c.Spans
+		dcfg.OnPass = func(p detect.PassInfo) {
+			spans.DetectorPass(p.Cycle, p.BuildNs, p.AnalyzeNs, p.Deadlocks, p.Gated)
+		}
 	}
 	det := detect.New(net, dcfg)
 	r := &Runner{
@@ -317,7 +353,15 @@ func NewRunner(c Config) (*Runner, error) {
 			c.Incidents.FaultContext = inj.ActiveFaults
 		}
 	}
-	if c.MetricsEvery > 0 || c.MetricsLive != nil {
+	if c.ForensicsDepth > 0 {
+		rl := network.NewResourceLog(c.ForensicsDepth)
+		net.SetResourceLog(rl)
+		r.Forensics = obs.NewFormationAnalyzer(net, rl)
+		if c.Incidents != nil {
+			c.Incidents.Formation = r.Forensics
+		}
+	}
+	if c.MetricsEvery > 0 || c.MetricsLive != nil || c.Heatmap != nil {
 		r.rec = obs.NewRecorder(c.MetricsEvery)
 	}
 	net.OnDeliver = r.onDeliver
@@ -427,6 +471,9 @@ func (r *Runner) sampleMetrics() {
 	r.rec.Record(g)
 	if r.Cfg.MetricsLive != nil {
 		r.Cfg.MetricsLive.Store(g)
+	}
+	if r.Cfg.Heatmap != nil {
+		r.Cfg.Heatmap.Sample(r.Net)
 	}
 }
 
