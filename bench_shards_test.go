@@ -1,0 +1,124 @@
+// Shard-scaling benchmarks for the parallel cycle engine: the saturated
+// 16-ary 2-cube of BenchmarkSimCycleObsOff stepped at 1, 2, 4 and 8 shards.
+// The engine guarantees bit-identical results for every shard count, so
+// these measure pure execution strategy: Shards1 must stay within noise of
+// the sequential baseline (the 1-shard path IS the sequential engine — no
+// mailboxes, no barriers), and higher counts buy wall-clock on multi-core
+// runners.
+//
+//	go test -run='^$' -bench=SimCycleShards -benchmem .
+//
+// FLEXSIM_BENCH_SHARDS_OUT=BENCH_shards.json go test -run TestEmitShardBench .
+// re-measures all four points with testing.Benchmark and writes the
+// machine-readable trajectory file (ns/cycle, allocs/op, speedup-vs-1-shard).
+package flexsim_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"flexsim/internal/sim"
+)
+
+// shardBenchRunner builds the saturated 16-ary 2-cube runner used by every
+// shard point: observability off, detector parked, 2000 warm cycles so the
+// steady state is allocation-free.
+func shardBenchRunner(tb testing.TB, shards int) *sim.Runner {
+	tb.Helper()
+	cfg := sim.Default()
+	cfg.Load = 1.0
+	cfg.DetectEvery = 1 << 30
+	cfg.WarmupCycles = 0
+	cfg.MetricsEvery = 0
+	cfg.Shards = shards
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ { // reach saturation occupancy
+		r.StepCycle()
+	}
+	return r
+}
+
+func benchSimCycleShards(b *testing.B, shards int) {
+	r := shardBenchRunner(b, shards)
+	defer r.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.StepCycle()
+	}
+}
+
+func BenchmarkSimCycleShards1(b *testing.B) { benchSimCycleShards(b, 1) }
+func BenchmarkSimCycleShards2(b *testing.B) { benchSimCycleShards(b, 2) }
+func BenchmarkSimCycleShards4(b *testing.B) { benchSimCycleShards(b, 4) }
+func BenchmarkSimCycleShards8(b *testing.B) { benchSimCycleShards(b, 8) }
+
+// shardBenchPoint is one row of BENCH_shards.json.
+type shardBenchPoint struct {
+	Shards      int     `json:"shards"`
+	NsPerCycle  float64 `json:"ns_per_cycle"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	SpeedupVs1  float64 `json:"speedup_vs_1_shard"`
+}
+
+// shardBenchFile is the BENCH_shards.json envelope: enough machine context
+// to judge the numbers (a 1-core runner cannot show multi-shard speedup).
+type shardBenchFile struct {
+	Benchmark  string            `json:"benchmark"`
+	Network    string            `json:"network"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	NumCPU     int               `json:"num_cpu"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Points     []shardBenchPoint `json:"points"`
+}
+
+// TestEmitShardBench re-measures the four shard points and writes the
+// machine-readable perf trajectory to $FLEXSIM_BENCH_SHARDS_OUT; without the
+// variable it is a no-op, so `go test ./...` never pays the measurement.
+func TestEmitShardBench(t *testing.T) {
+	out := os.Getenv("FLEXSIM_BENCH_SHARDS_OUT")
+	if out == "" {
+		t.Skip("set FLEXSIM_BENCH_SHARDS_OUT to write BENCH_shards.json")
+	}
+	file := shardBenchFile{
+		Benchmark:  "BenchmarkSimCycleShards",
+		Network:    "16-ary 2-cube, tfar, load 1.0, detector off",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	var base float64
+	for _, shards := range []int{1, 2, 4, 8} {
+		s := shards
+		res := testing.Benchmark(func(b *testing.B) { benchSimCycleShards(b, s) })
+		ns := float64(res.NsPerOp())
+		if shards == 1 {
+			base = ns
+		}
+		file.Points = append(file.Points, shardBenchPoint{
+			Shards:      shards,
+			NsPerCycle:  ns,
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			SpeedupVs1:  base / ns,
+		})
+	}
+	b, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -235,6 +235,10 @@ var ConfigDefs = []Def[configTarget]{
 		func(fs *flag.FlagSet, t configTarget, usage string) {
 			fs.StringVar(&t.X.FaultSchedule, "fault-schedule", "", usage)
 		}},
+	{"shards", shardsUsage,
+		func(fs *flag.FlagSet, t configTarget, usage string) {
+			fs.IntVar(&t.C.Shards, "shards", sim.AutoShards, usage)
+		}},
 }
 
 // Fault-injection flag help, shared verbatim by both CLIs.
@@ -243,6 +247,7 @@ const (
 	faultRepairUsage   = "repair failed links after this many cycles (0 = failures are permanent)"
 	faultSeedUsage     = "seed for the generated fault schedule (0 = derive from -seed)"
 	faultScheduleUsage = "inject the fault events in this JSONL schedule file (composable with -fault-link-mttf)"
+	shardsUsage        = "parallel cycle-engine shards per run: 1 = sequential, -1 = auto (min(GOMAXPROCS, routers/4)); results are bit-identical for any value"
 )
 
 // LoadFaultSchedule parses the -fault-schedule file (when set) into the
@@ -301,6 +306,7 @@ type Sweep struct {
 	Parallel      int
 	Seed          uint64
 	Loads         string
+	Shards        int
 	FaultSeed     uint64
 	FaultLinkMTTF int
 	FaultRepair   int
@@ -337,6 +343,10 @@ var SweepDefs = []Def[*Sweep]{
 		func(fs *flag.FlagSet, s *Sweep, usage string) {
 			fs.StringVar(&s.FaultSchedule, "fault-schedule", "", usage)
 		}},
+	{"shards", shardsUsage,
+		func(fs *flag.FlagSet, s *Sweep, usage string) {
+			fs.IntVar(&s.Shards, "shards", sim.AutoShards, usage)
+		}},
 }
 
 // BindSweep registers the experiment-harness table on fs.
@@ -353,7 +363,7 @@ func BindSweep(fs *flag.FlagSet) *Sweep {
 // metrics — are wired by the caller).
 func (s *Sweep) Options() (experiments.Options, error) {
 	o := experiments.Options{
-		Quick: s.Quick, Parallelism: s.Parallel, Seed: s.Seed,
+		Quick: s.Quick, Parallelism: s.Parallel, Seed: s.Seed, Shards: s.Shards,
 		FaultSeed: s.FaultSeed, FaultLinkMTTF: s.FaultLinkMTTF, FaultRepair: s.FaultRepair,
 	}
 	if s.Loads != "" {

@@ -24,6 +24,7 @@ func TestBindFlexsimSurface(t *testing.T) {
 		"-k", "8", "-vcs", "3", "-routing", "dor", "-load", "0.9",
 		"-uni", "-no-recover", "-census",
 		"-spans-out", "trace.json", "-forensics-depth", "4096", "-heatmap-out", "heat.csv",
+		"-shards", "4",
 		"-timeout", "90s", "-cache-dir", "/tmp/c", "-resume=false",
 	})
 	if err != nil {
@@ -36,6 +37,9 @@ func TestBindFlexsimSurface(t *testing.T) {
 	}
 	if cfg.ForensicsDepth != 4096 {
 		t.Errorf("ForensicsDepth = %d, want 4096", cfg.ForensicsDepth)
+	}
+	if cfg.Shards != 4 {
+		t.Errorf("Shards = %d, want 4", cfg.Shards)
 	}
 	if x.SpansOut != "trace.json" || x.HeatmapOut != "heat.csv" {
 		t.Errorf("forensics outputs misbound: %+v", x)
@@ -78,6 +82,9 @@ func TestBindCharsweepSurface(t *testing.T) {
 	}
 	if !opts.Quick || opts.Parallelism != 4 {
 		t.Errorf("options miswired: %+v", opts)
+	}
+	if s.Shards != sim.AutoShards || opts.Shards != sim.AutoShards {
+		t.Errorf("-shards must default to auto: flag %d, options %d", s.Shards, opts.Shards)
 	}
 	if v.Timeout != time.Minute {
 		t.Errorf("timeout = %v", v.Timeout)

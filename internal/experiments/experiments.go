@@ -35,6 +35,10 @@ type Options struct {
 	Seed uint64
 	// Loads overrides the default load sweep.
 	Loads []float64
+	// Shards sets the parallel cycle-engine shard count for every run
+	// (see sim.Config.Shards); results are identical for any value, so it
+	// is execution tuning, not part of the experiment.
+	Shards int
 	// Context cancels the experiment's simulation runs (nil = Background).
 	// A cancelled experiment returns an error wrapping the context's; its
 	// completed runs are already persisted when a Cache is attached.
@@ -73,6 +77,7 @@ func (o Options) base() core.Config {
 	if o.Seed != 0 {
 		c.Seed = o.Seed
 	}
+	c.Shards = o.Shards
 	c.MetricsEvery = o.MetricsEvery
 	c.MetricsSink = o.MetricsSink
 	c.FaultSeed = o.FaultSeed

@@ -227,6 +227,9 @@ func GenerateLinkFaults(topo topology.Network, seed uint64, mttf, repair int, ho
 	src := rng.Stream(seed, "fault")
 	var events []Event
 	for ch := 0; ch < topo.NumChannels(); ch++ {
+		if !topo.ChannelExists(topology.ChannelID(ch)) {
+			continue // mesh edge-wrap slots: ids with no physical link
+		}
 		t := int64(0)
 		for {
 			t += int64(src.ExpFloat64()*float64(mttf)) + 1

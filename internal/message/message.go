@@ -120,6 +120,14 @@ type Message struct {
 	Blocked      bool
 	BlockedSince int64
 	Wants        []VC
+
+	// Ord and Shard are cycle-scoped scheduling state maintained by the
+	// network's parallel step engine: Ord is the message's position in
+	// the global active order at the start of the cycle (the canonical
+	// merge key for cross-shard effect ordering), Shard the worker that
+	// owns it this cycle. Both are meaningless outside a Step.
+	Ord   int32
+	Shard int32
 }
 
 // New returns a Queued message ready for injection.

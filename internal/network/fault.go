@@ -36,11 +36,10 @@ type faultState struct {
 
 	// alive is the liveness predicate handed to the routing helpers,
 	// built once so the allocation phase stays closure-allocation free.
+	// It only reads fault flags, which mutate between cycles, so the
+	// parallel allocate kernels may share it; enumeration scratch lives
+	// per worker instead (see worker.fbBuf/chBuf).
 	alive routing.Alive
-
-	// fbBuf/chBuf are scratch for fallback candidate enumeration.
-	fbBuf []routing.Candidate
-	chBuf []topology.ChannelID
 }
 
 // ensureFaults allocates the fault state on first use.
@@ -154,7 +153,7 @@ func (n *Network) SetNodeDown(node int) {
 	f.nodeDown[node] = true
 	f.nodesDown++
 	n.resEpoch++
-	for _, m := range n.active {
+	for _, m := range n.ActiveMessages() {
 		if m.Status != message.Active && m.Status != message.Recovering {
 			continue
 		}
@@ -197,14 +196,23 @@ func (n *Network) SetNodeUp(node int) {
 // VCs are marked fully departed so the next release phase frees them, and
 // the message retires with Status Killed — accounted separately from
 // delivery. The resource epoch bumps so the detector's change gate
-// invalidates.
+// invalidates. Called between cycles (fault injector, detector); the
+// allocate kernel uses the worker-level kill directly.
 func (n *Network) Kill(m *message.Message) {
+	n.w0.kill(m)
+	n.w0.flushCounters()
+}
+
+// kill is the shard-safe body of Kill: it mutates only the message (the
+// release phase frees its VCs), so a worker may kill an unroutable message
+// it owns without cross-shard coordination.
+func (w *worker) kill(m *message.Message) {
 	if m.Status != message.Active && m.Status != message.Recovering {
 		return
 	}
 	for i := m.Released; i < len(m.Path); i++ {
 		if m.Occ[i] > 0 {
-			n.KilledFlits += int64(m.Occ[i])
+			w.d.killedFlits += int64(m.Occ[i])
 			m.Consumed += int(m.Occ[i])
 			m.Occ[i] = 0
 		}
@@ -213,37 +221,35 @@ func (n *Network) Kill(m *message.Message) {
 	m.Consumed += m.SrcRemaining
 	m.SrcRemaining = 0
 	if m.Blocked {
-		n.logRes(ResUnblock, m.ID, message.NoVC, m.Wants)
+		w.emitRes(ResUnblock, m.ID, message.NoVC, m.Wants)
 	}
 	m.Blocked = false
 	m.Wants = nil
 	m.Status = message.Killed
-	m.DeliverTime = n.now
-	n.KilledCount++
-	n.resEpoch++
-	n.trace(trace.Killed, m.ID, message.NoVC, -1)
+	m.DeliverTime = w.n.now
+	w.d.killedCount++
+	w.d.epoch++
+	w.emitTrace(trace.Killed, m.ID, message.NoVC, -1)
 }
 
 // killUnroutable drops a message that has no live route to its destination
 // (disconnected source/destination pair, or misrouting exhausted).
-func (n *Network) killUnroutable(m *message.Message, node int) {
-	n.UnroutableCount++
-	n.trace(trace.Killed, m.ID, message.NoVC, node)
-	n.Kill(m)
+func (w *worker) killUnroutable(m *message.Message, node int) {
+	w.d.unroutableCount++
+	w.emitTrace(trace.Killed, m.ID, message.NoVC, node)
+	w.kill(m)
 }
 
 // dropQueuedDead retires a still-queued message whose destination node is
-// down; it holds no resources, so it bypasses Kill and settles directly.
-func (n *Network) dropQueuedDead(m *message.Message, node int) {
+// down; it holds no resources, so it bypasses kill and settles directly.
+func (w *worker) dropQueuedDead(m *message.Message, node int) {
 	m.Status = message.Killed
-	m.DeliverTime = n.now
+	m.DeliverTime = w.n.now
 	m.Consumed = m.Len
 	m.SrcRemaining = 0
-	n.KilledCount++
-	n.trace(trace.Killed, m.ID, message.NoVC, node)
-	if n.OnDeliver != nil {
-		n.OnDeliver(m)
-	}
+	w.d.killedCount++
+	w.emitTrace(trace.Killed, m.ID, message.NoVC, node)
+	w.emitDeliver(m)
 }
 
 // faultCandidates applies the fault state to a routed candidate set: dead
@@ -253,8 +259,9 @@ func (n *Network) dropQueuedDead(m *message.Message, node int) {
 // empty result means the destination is unreachable on the surviving graph
 // and the caller should kill the message as unroutable. The second return
 // is false when the message exhausted its misroute budget.
-func (n *Network) faultCandidates(m *message.Message, here int, prev topology.ChannelID,
+func (w *worker) faultCandidates(m *message.Message, here int, prev topology.ChannelID,
 	cands []routing.Candidate) ([]routing.Candidate, bool) {
+	n := w.n
 	f := n.faults
 	cands = routing.FilterAlive(cands, f.alive)
 	if len(cands) > 0 {
@@ -265,11 +272,11 @@ func (n *Network) faultCandidates(m *message.Message, here int, prev topology.Ch
 	if len(m.Path)-1 > f.maxHops {
 		return nil, false
 	}
-	f.fbBuf, f.chBuf = routing.Surviving(n.topo, here, prev, n.vcs, f.alive, f.fbBuf[:0], f.chBuf)
-	if len(f.fbBuf) == 0 && prev != topology.None {
+	w.fbBuf, w.chBuf = routing.Surviving(n.topo, here, prev, n.vcs, f.alive, w.fbBuf[:0], w.chBuf)
+	if len(w.fbBuf) == 0 && prev != topology.None {
 		// A dead-end whose only live exit is backwards: turning around
 		// beats dying (the hop budget bounds any ping-pong).
-		f.fbBuf, f.chBuf = routing.Surviving(n.topo, here, topology.None, n.vcs, f.alive, f.fbBuf[:0], f.chBuf)
+		w.fbBuf, w.chBuf = routing.Surviving(n.topo, here, topology.None, n.vcs, f.alive, w.fbBuf[:0], w.chBuf)
 	}
-	return f.fbBuf, true
+	return w.fbBuf, true
 }

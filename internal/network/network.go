@@ -17,10 +17,19 @@
 // The update is two-phase per cycle (plan from pre-cycle state, then
 // commit), which keeps the simulation deterministic, prevents a flit from
 // traversing two links in one cycle, and enforces link bandwidth exactly.
+//
+// The cycle update is expressed as shard-local kernels over a partition of
+// the routers (see shard.go): with Shards == 1 a single direct-mode worker
+// applies every effect inline (the classic sequential engine); with
+// Shards > 1 a persistent worker pool steps the shards concurrently and all
+// externally visible effects are buffered and merged in a canonical order,
+// so results are bit-identical for any shard count.
 package network
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"flexsim/internal/message"
 	"flexsim/internal/routing"
@@ -45,6 +54,12 @@ type Params struct {
 	// RecoveryDrainRate is the number of victim flits absorbed per cycle
 	// during deadlock recovery; 0 means instantaneous absorption.
 	RecoveryDrainRate int
+	// Shards is the number of parallel workers stepping the network.
+	// 1 runs the sequential engine; AutoShards (-1) picks
+	// min(GOMAXPROCS, nodes/4); 0 consults the FLEXSIM_SHARDS environment
+	// variable and falls back to 1. The value is clamped to [1, nodes].
+	// Shard count never changes simulation results — only wall-clock time.
+	Shards int
 	// CheckInvariants enables per-cycle validation (tests only; costly).
 	CheckInvariants bool
 	// Tracer, if non-nil, receives message lifecycle events.
@@ -57,15 +72,17 @@ type transfer struct {
 	slot int // move one flit out of Path[slot] into Path[slot+1]
 }
 
-// Network is the simulated network state. It is not safe for concurrent
-// use; a simulation run owns one Network and steps it from a single
-// goroutine.
+// Network is the simulated network state. A simulation run owns one Network
+// and steps it from a single goroutine; with Shards > 1 the Step call itself
+// fans work out to an internal worker pool, but the external contract is
+// unchanged (no concurrent calls into Network).
 type Network struct {
-	p     Params
-	topo  topology.Network
-	vcs   int
-	depth int32
-	inj   int32
+	p      Params
+	topo   topology.Network
+	vcs    int
+	depth  int32
+	inj    int32
+	shards int
 
 	now int64
 
@@ -89,10 +106,29 @@ type Network struct {
 	queued  int // total messages waiting in source queues
 	blocked int // active messages blocked as of the last allocation phase
 
-	// Per-cycle scratch, reused across cycles.
-	chReq   map[topology.ChannelID][]transfer
-	rxReq   map[int][]*message.Message
-	candBuf []routing.Candidate
+	// activeByID is the lazily rebuilt ID-sorted view of active, returned
+	// by ActiveMessages so observers iterate in a stable order regardless
+	// of internal scheduling; activeDirty marks it stale (membership
+	// changed).
+	activeByID  []*message.Message
+	activeDirty bool
+
+	// Per-cycle transfer request tables, indexed by physical channel and
+	// by node. Flat slices (not maps) so registration is deterministic,
+	// allocation-free after warm-up, and shard-partitionable.
+	chReqs [][]transfer
+	rxReqs [][]*message.Message
+
+	// w0 is the always-direct worker used by the sequential engine and by
+	// between-cycle mutators (Kill, Absorb, fault setters). workers/pool
+	// are non-nil only when shards > 1; shardOfNode/shardOfCh map a node
+	// or a channel's source node to its owning shard.
+	w0          *worker
+	workers     []*worker
+	pool        *pool
+	shardOfNode []int32
+	shardOfCh   []int32
+	mergeCur    []int // k-way merge cursors, reused
 
 	// OnDeliver, if set, is called when a message is delivered normally
 	// or absorbed by recovery (Status distinguishes the two).
@@ -175,17 +211,19 @@ func New(p Params) (*Network, error) {
 	}
 	t := p.Topo
 	n := &Network{
-		p:         p,
-		topo:      t,
-		vcs:       p.VCs,
-		depth:     int32(p.BufferDepth),
-		inj:       int32(p.InjBufferDepth),
+		p:      p,
+		topo:   t,
+		vcs:    p.VCs,
+		depth:  int32(p.BufferDepth),
+		inj:    int32(p.InjBufferDepth),
+		shards: resolveShards(p.Shards, t.Nodes()),
+
 		numNetVCs: t.NumChannels() * p.VCs,
 		chRR:      make([]int32, t.NumChannels()),
 		rxRR:      make([]int32, t.Nodes()),
 		queues:    make([]msgQueue, t.Nodes()),
-		chReq:     make(map[topology.ChannelID][]transfer),
-		rxReq:     make(map[int][]*message.Message),
+		chReqs:    make([][]transfer, t.NumChannels()),
+		rxReqs:    make([][]*message.Message, t.Nodes()),
 	}
 	n.numVCs = n.numNetVCs + t.Nodes()
 	n.owner = make([]*message.Message, n.numVCs)
@@ -195,8 +233,12 @@ func New(p Params) (*Network, error) {
 	for i := range n.chRR {
 		n.chRR[i] = -1
 	}
+	n.initWorkers()
 	return n, nil
 }
+
+// Shards returns the resolved worker count (>= 1).
+func (n *Network) Shards() int { return n.shards }
 
 // --- VC id space -----------------------------------------------------------
 
@@ -288,10 +330,23 @@ func (n *Network) trace(kind trace.Kind, id message.ID, vc message.VC, node int)
 // Now returns the current simulation cycle.
 func (n *Network) Now() int64 { return n.now }
 
-// ActiveMessages returns the messages currently holding network resources.
-// The slice is owned by the network; callers must not retain it across
-// Step calls.
-func (n *Network) ActiveMessages() []*message.Message { return n.active }
+// ActiveMessages returns the messages currently holding network resources,
+// sorted by message ID, so observers (detector snapshots, invariant failure
+// output, incident post-mortems) iterate in a stable order independent of
+// internal scheduling layout. The slice is owned by the network; callers
+// must not retain it across Step calls.
+func (n *Network) ActiveMessages() []*message.Message {
+	if n.activeDirty || n.activeByID == nil {
+		n.activeByID = append(n.activeByID[:0], n.active...)
+		slices.SortFunc(n.activeByID, msgIDOrder)
+		n.activeDirty = false
+	}
+	return n.activeByID
+}
+
+// msgIDOrder sorts messages by ID (injection order — IDs are issued
+// monotonically and never reused).
+func msgIDOrder(a, b *message.Message) int { return cmp.Compare(a.ID, b.ID) }
 
 // ActiveCount returns the number of messages holding resources.
 func (n *Network) ActiveCount() int { return len(n.active) }
@@ -322,14 +377,16 @@ func (n *Network) Topology() topology.Network { return n.topo }
 
 // Step advances the simulation by one cycle: recovery drain, injection
 // starts, header VC allocation, link arbitration, flit transfers, ejection
-// and VC release.
+// and VC release. With shards > 1 the phases run on the worker pool with
+// deterministic cross-shard effect merging (see shard.go); results are
+// identical either way.
 func (n *Network) Step() {
 	n.now++
-	n.drainRecovering()
-	n.startInjections()
-	n.allocatePhase()
-	n.transferPhase()
-	n.releasePhase()
+	if n.pool != nil {
+		n.stepParallel()
+	} else {
+		n.stepSequential()
+	}
 	if n.p.CheckInvariants {
 		if err := n.CheckInvariants(); err != nil {
 			panic(err)
@@ -337,129 +394,25 @@ func (n *Network) Step() {
 	}
 }
 
-// startInjections moves queued messages into free injection VCs.
-func (n *Network) startInjections() {
-	for node := range n.queues {
-		q := &n.queues[node]
-		m := q.peek()
-		if m == nil {
-			continue
-		}
-		if n.faults != nil {
-			if n.faults.nodeDown[node] {
-				continue // a dead router injects nothing
-			}
-			if n.faults.nodeDown[m.Dst] {
-				// Destination is down: drop rather than inject a
-				// message that can never be consumed.
-				q.pop()
-				n.queued--
-				n.dropQueuedDead(m, node)
-				continue
-			}
-		}
-		vc := n.InjVC(node)
-		if n.owner[vc] != nil {
-			continue
-		}
-		q.pop()
-		n.queued--
-		n.owner[vc] = m
-		m.Acquire(vc)
-		m.Status = message.Active
-		m.InjectTime = n.now
-		n.active = append(n.active, m)
-		n.resEpoch++
-		n.logRes(ResAcquire, m.ID, vc, nil)
-		n.trace(trace.Injected, m.ID, vc, node)
-	}
-}
-
-// allocatePhase routes every header sitting at the head of its buffer and
-// tries to allocate the first free candidate VC; failing that the message is
-// marked blocked with its candidate set recorded (the CWG dashed arcs).
-func (n *Network) allocatePhase() {
-	n.blocked = 0
+// compactActive removes retired messages (delivered, recovered or killed,
+// with every owned VC released), preserving the order of the survivors.
+func (n *Network) compactActive() {
+	out := n.active[:0]
 	for _, m := range n.active {
-		if m.Status != message.Active {
-			continue
-		}
-		last := len(m.Path) - 1
-		if m.Departed[last] != 0 || m.Occ[last] == 0 {
-			continue // header already departed or not yet arrived
-		}
-		here := n.Downstream(m.Path[last])
-		if here == m.Dst {
-			continue // ejecting; reception handled in transferPhase
-		}
-		req := routing.Request{
-			Topo:    n.topo,
-			Node:    here,
-			Dst:     m.Dst,
-			VCs:     n.vcs,
-			CurDim:  m.CurDim,
-			Crossed: m.Crossed,
-			PrevCh:  n.prevChannel(m),
-		}
-		if mr, ok := n.p.Routing.(routing.MisroutingFAR); ok && mr.MaxDeroutes > 0 {
-			req.Deroutes = derouteCount(n.topo, m)
-		}
-		n.candBuf = n.p.Routing.Candidates(&req, n.candBuf[:0])
-		if n.faults != nil {
-			cands, ok := n.faultCandidates(m, here, req.PrevCh, n.candBuf)
-			if !ok || len(cands) == 0 {
-				// No live route to the destination on the surviving
-				// graph (or the misroute budget is spent): drop with
-				// a counted stat instead of spinning forever.
-				n.killUnroutable(m, here)
-				continue
-			}
-			n.candBuf = cands
-		} else if len(n.candBuf) == 0 {
-			// The routing relation itself has no continuation for this
-			// header (a disconnected source/destination pair on a
-			// degraded or irregular graph): same drop-with-stat
-			// semantics as a fault disconnection.
-			n.killUnroutable(m, here)
-			continue
-		}
-		granted := false
-		for _, c := range n.candBuf {
-			vc := n.NetVC(c.Ch, c.VC)
-			if n.owner[vc] == nil {
-				n.owner[vc] = m
-				m.Acquire(vc)
-				n.resEpoch++
-				if m.Blocked {
-					n.logRes(ResUnblock, m.ID, message.NoVC, m.Wants)
-					m.Blocked = false
-					m.Wants = m.Wants[:0]
-					n.trace(trace.Unblocked, m.ID, vc, here)
-				}
-				n.logRes(ResAcquire, m.ID, vc, nil)
-				n.trace(trace.Allocated, m.ID, vc, here)
-				granted = true
-				break
-			}
-		}
-		if !granted {
-			newly := !m.Blocked
-			if newly {
-				m.Blocked = true
-				m.BlockedSince = n.now
-				n.resEpoch++
-				n.trace(trace.Blocked, m.ID, message.NoVC, here)
-			}
-			m.Wants = m.Wants[:0]
-			for _, c := range n.candBuf {
-				m.Wants = append(m.Wants, n.NetVC(c.Ch, c.VC))
-			}
-			if newly {
-				n.logRes(ResBlock, m.ID, message.NoVC, m.Wants)
-			}
-			n.blocked++
+		done := (m.Status == message.Delivered || m.Status == message.Recovered ||
+			m.Status == message.Killed) && m.Released == len(m.Path)
+		if !done {
+			out = append(out, m)
 		}
 	}
+	if len(out) != len(n.active) {
+		n.activeDirty = true
+	}
+	// Zero the tail so retired messages become collectable.
+	for i := len(out); i < len(n.active); i++ {
+		n.active[i] = nil
+	}
+	n.active = out
 }
 
 // prevChannel returns the channel the header last traversed, or
@@ -485,68 +438,6 @@ func derouteCount(t topology.Network, m *message.Message) int {
 	return hops - minimal
 }
 
-// transferPhase plans all flit movements from pre-cycle state, arbitrates
-// per physical channel and per reception port, and commits the grants.
-func (n *Network) transferPhase() {
-	// Plan: register transfer requests.
-	for ch := range n.chReq {
-		delete(n.chReq, ch)
-	}
-	for node := range n.rxReq {
-		delete(n.rxReq, node)
-	}
-	for _, m := range n.active {
-		if m.Status != message.Active {
-			continue
-		}
-		last := len(m.Path) - 1
-		for i := m.Released; i <= last; i++ {
-			if m.Occ[i] == 0 {
-				continue
-			}
-			if i < last {
-				next := m.Path[i+1]
-				if m.Occ[i+1] < n.bufDepth(next) {
-					ch := n.VCChannel(next)
-					n.chReq[ch] = append(n.chReq[ch], transfer{msg: m, slot: i})
-				}
-			} else if n.Downstream(m.Path[last]) == m.Dst {
-				// Flits at the head buffer of a message whose
-				// header has reached the destination: request
-				// the reception channel.
-				n.rxReq[m.Dst] = append(n.rxReq[m.Dst], m)
-			}
-		}
-	}
-	// Grant and commit per physical channel: round-robin over VC index.
-	for ch, reqs := range n.chReq {
-		var grant transfer
-		if len(reqs) == 1 {
-			grant = reqs[0]
-		} else {
-			grant = n.arbitrate(ch, reqs)
-		}
-		n.commit(grant)
-		n.chRR[ch] = int32(n.VCIndex(grant.msg.Path[grant.slot+1]))
-	}
-	// Grant and commit reception: round-robin over head VC id per node.
-	for node, reqs := range n.rxReq {
-		m := n.arbitrateRx(node, reqs)
-		n.eject(m)
-	}
-	// Injection last, on post-transfer occupancy, so a flit entering the
-	// injection buffer this cycle cannot also traverse a link this cycle:
-	// source flits flow into the injection buffer at one flit per cycle
-	// (dedicated channel, no arbitration — one owner at a time).
-	for _, m := range n.active {
-		if m.Status == message.Active && m.SrcRemaining > 0 && m.Occ[0] < n.inj && m.Released == 0 {
-			m.Occ[0]++
-			m.SrcRemaining--
-			n.InjectedFlits++
-		}
-	}
-}
-
 // bufDepth returns the capacity of vc's edge buffer.
 func (n *Network) bufDepth(vc message.VC) int32 {
 	if n.IsInjection(vc) {
@@ -556,7 +447,8 @@ func (n *Network) bufDepth(vc message.VC) int32 {
 }
 
 // arbitrate picks the requester whose target VC index follows the channel's
-// round-robin pointer.
+// round-robin pointer. The winner is order-independent: every requester
+// targets a distinct VC of the channel, so keys are unique.
 func (n *Network) arbitrate(ch topology.ChannelID, reqs []transfer) transfer {
 	ptr := n.chRR[ch]
 	best := reqs[0]
@@ -576,7 +468,8 @@ func (n *Network) arbitrate(ch topology.ChannelID, reqs []transfer) transfer {
 }
 
 // arbitrateRx picks the delivering message whose head VC id follows the
-// node's round-robin pointer.
+// node's round-robin pointer. Distinct messages hold distinct head VCs, so
+// keys are unique and the winner is order-independent.
 func (n *Network) arbitrateRx(node int, reqs []*message.Message) *message.Message {
 	ptr := n.rxRR[node]
 	best := reqs[0]
@@ -615,140 +508,41 @@ func (n *Network) commit(t transfer) {
 	}
 }
 
-// eject consumes one flit of m at its destination.
-func (n *Network) eject(m *message.Message) {
-	last := len(m.Path) - 1
-	m.Occ[last]--
-	m.Departed[last]++
-	m.Consumed++
-	n.DeliveredFlits++
-	if m.Consumed == m.Len {
-		m.Status = message.Delivered
-		m.DeliverTime = n.now
-		if m.Blocked {
-			n.logRes(ResUnblock, m.ID, message.NoVC, m.Wants)
-			m.Blocked = false
-			n.resEpoch++
-		}
-		m.Wants = nil
-		n.DeliveredCount++
-		n.trace(trace.Delivered, m.ID, message.NoVC, m.Dst)
-	}
-}
-
-// releasePhase frees VCs whose buffers the tail has fully drained and
-// retires completed messages.
-func (n *Network) releasePhase() {
-	out := n.active[:0]
-	for _, m := range n.active {
-		for m.Released < len(m.Path) && m.Departed[m.Released] == int32(m.Len) {
-			n.logRes(ResRelease, m.ID, m.Path[m.Released], nil)
-			n.owner[m.Path[m.Released]] = nil
-			m.Released++
-			n.resEpoch++
-		}
-		done := (m.Status == message.Delivered || m.Status == message.Recovered ||
-			m.Status == message.Killed) && m.Released == len(m.Path)
-		if done {
-			if n.OnDeliver != nil {
-				n.OnDeliver(m)
-			}
-			continue
-		}
-		out = append(out, m)
-	}
-	// Zero the tail so retired messages become collectable.
-	for i := len(out); i < len(n.active); i++ {
-		n.active[i] = nil
-	}
-	n.active = out
-}
-
 // --- Deadlock recovery -------------------------------------------------------
 
 // Absorb marks m as a deadlock victim to be removed from the network
 // flit-by-flit (tail-first, RecoveryDrainRate flits per cycle), synthesizing
 // a Disha-style recovery: the victim is counted as delivered out of band and
-// its VCs return to the free pool as they drain.
+// its VCs return to the free pool as they drain. Called between cycles (by
+// the detector), never from inside Step.
 func (n *Network) Absorb(m *message.Message) {
 	if m.Status != message.Active {
 		return
 	}
+	w := n.w0
 	m.Status = message.Recovering
 	if m.Blocked {
-		n.logRes(ResUnblock, m.ID, message.NoVC, m.Wants)
+		w.emitRes(ResUnblock, m.ID, message.NoVC, m.Wants)
 	}
 	m.Blocked = false
 	m.Wants = m.Wants[:0]
-	n.resEpoch++
-	n.trace(trace.RecoveryStart, m.ID, message.NoVC, -1)
+	w.d.epoch++
+	w.emitTrace(trace.RecoveryStart, m.ID, message.NoVC, -1)
 	if n.p.RecoveryDrainRate == 0 {
-		n.absorbFlits(m, m.Len-m.Consumed)
+		w.absorbFlits(m, m.Len-m.Consumed)
 	}
-}
-
-// drainRecovering absorbs flits of recovering messages.
-func (n *Network) drainRecovering() {
-	rate := n.p.RecoveryDrainRate
-	if rate <= 0 {
-		return
-	}
-	for _, m := range n.active {
-		if m.Status == message.Recovering {
-			n.absorbFlits(m, rate)
-		}
-	}
-}
-
-// absorbFlits removes up to k flits of m, tail-first (source remainder
-// first, then the earliest owned buffer), so VCs free in acquisition order
-// as a draining worm's would.
-func (n *Network) absorbFlits(m *message.Message, k int) {
-	for k > 0 && m.Consumed < m.Len {
-		if m.SrcRemaining > 0 {
-			m.SrcRemaining--
-			m.Consumed++
-			k--
-			continue
-		}
-		// Find the tail-most occupied slot.
-		i := m.Released
-		for i < len(m.Path) && m.Occ[i] == 0 {
-			// An owned but empty slot between tail and head can
-			// only be the not-yet-entered head allocation; skip.
-			i++
-		}
-		if i == len(m.Path) {
-			break
-		}
-		m.Occ[i]--
-		m.Departed[i]++
-		m.Consumed++
-		n.AbsorbedFlits++
-		k--
-	}
-	if m.Consumed == m.Len {
-		m.Status = message.Recovered
-		m.DeliverTime = n.now
-		n.RecoveredCount++
-		n.trace(trace.RecoveryDone, m.ID, message.NoVC, -1)
-		// Any owned slots the drain skipped (allocated, never entered)
-		// are releasable now; mark them fully departed so releasePhase
-		// frees them.
-		for i := m.Released; i < len(m.Path); i++ {
-			m.Departed[i] = int32(m.Len)
-		}
-	}
+	w.flushCounters()
 }
 
 // --- Validation ---------------------------------------------------------------
 
 // CheckInvariants validates global consistency: flit conservation per
 // message, exclusive and consistent VC ownership, and buffer capacity
-// limits. It is O(active messages × path length).
+// limits. Messages are checked in stable ID order so failure output is
+// reproducible. It is O(active messages × path length).
 func (n *Network) CheckInvariants() error {
 	seen := make(map[message.VC]message.ID, 64)
-	for _, m := range n.active {
+	for _, m := range n.ActiveMessages() {
 		if m.Status == message.Recovered || m.Status == message.Killed {
 			// recovered and killed messages may still be draining release
 			continue

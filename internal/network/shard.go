@@ -1,0 +1,855 @@
+package network
+
+// Parallel cycle engine: the network's routers are partitioned into
+// contiguous node-range shards, each stepped by a persistent worker. The
+// cycle's phases run as shard-local kernels separated by barriers; effects
+// that cross a shard boundary (a flit transfer into a remote shard's VC, a
+// grant that commits into a message owned elsewhere) travel through
+// per-(src,dst)-shard mailboxes and are applied by the owning shard in the
+// next phase.
+//
+// Determinism is non-negotiable: results must be bit-identical for any
+// shard count. Two properties make that cheap:
+//
+//  1. VC allocation is node-local. Every routing relation in this simulator
+//     derives its candidate channels from the header's current node, so all
+//     contenders for a channel's VCs have their header at that channel's
+//     source node — one shard. The allocate kernel therefore needs no
+//     cross-shard coordination at all.
+//
+//  2. Arbitration winners and transfer commits are order-independent. Each
+//     channel's requesters target distinct VCs (unique round-robin keys),
+//     each node's deliverers hold distinct head VCs, and the commit of a
+//     granted transfer only increments/decrements per-slot flit counts
+//     whose final values do not depend on commit order.
+//
+// What remains order-sensitive is the externally visible event stream:
+// trace events, forensics ResourceLog records, and OnDeliver callbacks.
+// Those are buffered per worker and merged in a canonical order — message
+// Ord (the message's position in the global active order at cycle start)
+// for message-keyed phases, node index for node-keyed phases. A single
+// worker in "direct" mode skips the buffering entirely and applies effects
+// inline, which is exactly the sequential engine; both modes run the same
+// kernels, so they cannot drift apart.
+
+import (
+	"os"
+	"runtime"
+	"slices"
+	"strconv"
+	"sync"
+
+	"flexsim/internal/message"
+	"flexsim/internal/routing"
+	"flexsim/internal/topology"
+	"flexsim/internal/trace"
+)
+
+// AutoShards selects min(GOMAXPROCS, nodes/4) workers at construction.
+const AutoShards = -1
+
+// shardsEnv overrides a zero Params.Shards; it holds a shard count or
+// "auto". CI uses it to force the parallel engine under -race without
+// threading a flag through every test helper.
+const shardsEnv = "FLEXSIM_SHARDS"
+
+// resolveShards turns the requested shard count into the effective one.
+func resolveShards(req, nodes int) int {
+	s := req
+	if s == 0 {
+		if v := os.Getenv(shardsEnv); v != "" {
+			if v == "auto" {
+				s = AutoShards
+			} else if k, err := strconv.Atoi(v); err == nil {
+				s = k
+			}
+		}
+	}
+	if s < 0 { // AutoShards
+		s = runtime.GOMAXPROCS(0)
+		if q := nodes / 4; s > q {
+			s = q
+		}
+	}
+	if s < 1 {
+		s = 1
+	}
+	if s > nodes {
+		s = nodes
+	}
+	return s
+}
+
+// deltas accumulates a worker's counter contributions for one phase or
+// cycle; flushCounters folds them into the Network between barriers, so
+// kernels never contend on shared counters.
+type deltas struct {
+	epoch   uint64
+	queued  int
+	blocked int // flushed explicitly after the allocate phase, not by flushCounters
+
+	injectedFlits  int64
+	deliveredFlits int64
+	absorbedFlits  int64
+
+	deliveredCount  int64
+	recoveredCount  int64
+	killedCount     int64
+	killedFlits     int64
+	unroutableCount int64
+}
+
+// effectKind discriminates buffered externally visible effects.
+type effectKind int8
+
+const (
+	fxTrace effectKind = iota
+	fxRes
+	fxDeliver
+)
+
+// effect is one buffered externally visible event, tagged with its merge
+// key: the owning message's Ord for message-keyed phases, the node index
+// for node-keyed phases.
+type effect struct {
+	ord  int32
+	kind effectKind
+
+	ev trace.Event // fxTrace
+
+	res   ResKind      // fxRes
+	id    message.ID   // fxRes
+	vc    message.VC   // fxRes
+	wants []message.VC // fxRes: copied at emission (Message.Wants is reused in place)
+
+	msg *message.Message // fxDeliver
+}
+
+// worker steps one shard. In direct mode (the single worker of a 1-shard
+// network, and the between-cycle worker w0) every emit applies immediately
+// and no partition exists; otherwise emits buffer into fxMsg/fxNode for the
+// coordinator to merge at the next barrier.
+type worker struct {
+	n      *Network
+	id     int32
+	direct bool
+
+	nodeLo, nodeHi int // owned node range [lo, hi)
+
+	msgs     []*message.Message // messages owned this cycle (multi-shard only)
+	injected []*message.Message // newly injected this cycle, absorbed at the barrier
+
+	// curOrd is the merge key of the effect currently being emitted.
+	curOrd int32
+	buf    *[]effect // emission target for the running phase
+	fxMsg  []effect  // message-keyed effects (merge by Ord)
+	fxNode []effect  // node-keyed effects (concatenate in shard order)
+
+	// Mailboxes, indexed by destination shard.
+	reqOut   [][]transfer // planned transfers targeting a remote shard's channel
+	grantOut [][]transfer // granted transfers whose message another shard owns
+
+	chDirty []int32 // this shard's channels with pending requests
+	rxDirty []int32 // this shard's nodes with pending reception requests
+
+	// Routing scratch (per worker: the allocate kernel runs concurrently).
+	candBuf []routing.Candidate
+	fbBuf   []routing.Candidate
+	chBuf   []topology.ChannelID
+
+	d deltas
+}
+
+// initWorkers builds the stepping machinery for the resolved shard count.
+func (n *Network) initWorkers() {
+	nodes := n.topo.Nodes()
+	if n.shards <= 1 {
+		n.w0 = &worker{n: n, direct: true, nodeLo: 0, nodeHi: nodes}
+		return
+	}
+	s := n.shards
+	n.w0 = &worker{n: n, direct: true, nodeLo: 0, nodeHi: nodes}
+	n.workers = make([]*worker, s)
+	n.shardOfNode = make([]int32, nodes)
+	n.shardOfCh = make([]int32, n.topo.NumChannels())
+	for i := 0; i < s; i++ {
+		w := &worker{
+			n:        n,
+			id:       int32(i),
+			nodeLo:   i * nodes / s,
+			nodeHi:   (i + 1) * nodes / s,
+			reqOut:   make([][]transfer, s),
+			grantOut: make([][]transfer, s),
+		}
+		n.workers[i] = w
+		for node := w.nodeLo; node < w.nodeHi; node++ {
+			n.shardOfNode[node] = int32(i)
+		}
+	}
+	for ch := 0; ch < n.topo.NumChannels(); ch++ {
+		n.shardOfCh[ch] = n.shardOfNode[n.topo.ChannelSrc(topology.ChannelID(ch))]
+	}
+	n.mergeCur = make([]int, s)
+	n.pool = newPool(n.workers)
+}
+
+// Close stops the worker pool. Idempotent; a Network stepped after Close
+// falls back to the sequential engine. Only multi-shard networks hold any
+// resources worth closing.
+func (n *Network) Close() {
+	if n.pool == nil {
+		return
+	}
+	n.pool.close()
+	n.pool = nil
+}
+
+// --- Worker pool -------------------------------------------------------------
+
+// pool is a set of persistent goroutines, one per worker, parked on a job
+// channel. runStage hands every worker the same kernel and waits for all of
+// them at a barrier.
+type pool struct {
+	jobs []chan func(*worker)
+	wg   sync.WaitGroup
+}
+
+func newPool(workers []*worker) *pool {
+	p := &pool{jobs: make([]chan func(*worker), len(workers))}
+	for i, w := range workers {
+		ch := make(chan func(*worker), 1)
+		p.jobs[i] = ch
+		go func(w *worker, ch chan func(*worker)) {
+			for f := range ch {
+				f(w)
+				p.wg.Done()
+			}
+		}(w, ch)
+	}
+	return p
+}
+
+// runStage executes f on every worker concurrently and returns after all
+// have finished (the per-phase barrier).
+func (p *pool) runStage(f func(*worker)) {
+	p.wg.Add(len(p.jobs))
+	for _, ch := range p.jobs {
+		ch <- f
+	}
+	p.wg.Wait()
+}
+
+func (p *pool) close() {
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+}
+
+// --- Effect emission ---------------------------------------------------------
+
+func (w *worker) emitTrace(kind trace.Kind, id message.ID, vc message.VC, node int) {
+	n := w.n
+	if n.p.Tracer == nil {
+		return
+	}
+	ev := trace.Event{Cycle: n.now, Kind: kind, Msg: id, VC: vc, Node: node}
+	if w.direct {
+		n.p.Tracer.Trace(ev)
+		return
+	}
+	*w.buf = append(*w.buf, effect{ord: w.curOrd, kind: fxTrace, ev: ev})
+}
+
+func (w *worker) emitRes(kind ResKind, id message.ID, vc message.VC, wants []message.VC) {
+	n := w.n
+	if n.resLog == nil {
+		return
+	}
+	if w.direct {
+		n.resLog.record(n.now, kind, id, vc, wants)
+		return
+	}
+	// Message.Wants is rewritten in place later in the same cycle; copy now.
+	var cp []message.VC
+	if len(wants) > 0 {
+		cp = append(cp, wants...)
+	}
+	*w.buf = append(*w.buf, effect{ord: w.curOrd, kind: fxRes, res: kind, id: id, vc: vc, wants: cp})
+}
+
+func (w *worker) emitDeliver(m *message.Message) {
+	n := w.n
+	if n.OnDeliver == nil {
+		return
+	}
+	if w.direct {
+		n.OnDeliver(m)
+		return
+	}
+	*w.buf = append(*w.buf, effect{ord: w.curOrd, kind: fxDeliver, msg: m})
+}
+
+// flushCounters folds the worker's accumulated deltas (except blocked,
+// which is a per-cycle snapshot handled by the step driver) into the
+// Network. Runs on the coordinator goroutine only.
+func (w *worker) flushCounters() {
+	n := w.n
+	d := &w.d
+	n.resEpoch += d.epoch
+	n.queued += d.queued
+	n.InjectedFlits += d.injectedFlits
+	n.DeliveredFlits += d.deliveredFlits
+	n.AbsorbedFlits += d.absorbedFlits
+	n.DeliveredCount += d.deliveredCount
+	n.RecoveredCount += d.recoveredCount
+	n.KilledCount += d.killedCount
+	n.KilledFlits += d.killedFlits
+	n.UnroutableCount += d.unroutableCount
+	*d = deltas{blocked: d.blocked}
+}
+
+// applyEffect replays one buffered effect on the coordinator goroutine.
+func (n *Network) applyEffect(e *effect) {
+	switch e.kind {
+	case fxTrace:
+		if n.p.Tracer != nil {
+			n.p.Tracer.Trace(e.ev)
+		}
+	case fxRes:
+		if n.resLog != nil {
+			n.resLog.record(n.now, e.res, e.id, e.vc, e.wants)
+		}
+	case fxDeliver:
+		if n.OnDeliver != nil {
+			n.OnDeliver(e.msg)
+		}
+	}
+}
+
+// mergeMsgEffects applies every worker's message-keyed effects in ascending
+// Ord order (a k-way merge; each worker's stream is already Ord-sorted
+// because kernels walk their partition in Ord order). This reproduces the
+// exact event order of the sequential engine, which walks the global active
+// list.
+func (n *Network) mergeMsgEffects() {
+	total := 0
+	for _, w := range n.workers {
+		total += len(w.fxMsg)
+	}
+	if total == 0 {
+		return
+	}
+	cur := n.mergeCur
+	for i := range cur {
+		cur[i] = 0
+	}
+	for k := 0; k < total; k++ {
+		best := -1
+		var bestOrd int32
+		for wi, w := range n.workers {
+			if c := cur[wi]; c < len(w.fxMsg) {
+				if best < 0 || w.fxMsg[c].ord < bestOrd {
+					best, bestOrd = wi, w.fxMsg[c].ord
+				}
+			}
+		}
+		w := n.workers[best]
+		n.applyEffect(&w.fxMsg[cur[best]])
+		cur[best]++
+	}
+	for _, w := range n.workers {
+		clear(w.fxMsg) // drop message/wants references for the GC
+		w.fxMsg = w.fxMsg[:0]
+	}
+}
+
+// mergeNodeEffects applies node-keyed effects. Shards own contiguous
+// ascending node ranges and each kernel walks its nodes in ascending order,
+// so concatenation in shard order is already global node order.
+func (n *Network) mergeNodeEffects() {
+	for _, w := range n.workers {
+		for i := range w.fxNode {
+			n.applyEffect(&w.fxNode[i])
+		}
+		clear(w.fxNode)
+		w.fxNode = w.fxNode[:0]
+	}
+}
+
+// --- Step drivers ------------------------------------------------------------
+
+// stepSequential runs the cycle on the single direct worker: kernels apply
+// every effect inline, exactly the classic one-goroutine engine.
+func (n *Network) stepSequential() {
+	w := n.w0
+	w.drainRecovering(n.active)
+	w.startInjections()
+	w.d.blocked = 0
+	w.allocate(n.active)
+	n.blocked = w.d.blocked
+	w.d.blocked = 0
+	w.planTransfers(n.active)
+	w.arbitrateAndEject()
+	w.applyAndRelease(n.active)
+	n.compactActive()
+	w.flushCounters()
+}
+
+// Kernels for the four parallel launches. Package-level so handing them to
+// the pool allocates nothing.
+
+func stageDrainInject(w *worker) {
+	w.buf = &w.fxMsg
+	w.drainRecovering(w.msgs)
+	w.buf = &w.fxNode
+	w.startInjections()
+}
+
+func stageAllocPlan(w *worker) {
+	w.buf = &w.fxMsg
+	w.d.blocked = 0
+	w.allocate(w.msgs)
+	w.planTransfers(w.msgs)
+}
+
+func stageArbEject(w *worker) {
+	w.buf = &w.fxNode
+	w.arbitrateAndEject()
+}
+
+func stageApplyRelease(w *worker) {
+	w.buf = &w.fxMsg
+	w.applyAndRelease(w.msgs)
+}
+
+// stepParallel runs the cycle as four barrier-separated launches over the
+// worker pool, merging buffered effects and exchanging mailboxes between
+// launches on the coordinator goroutine.
+func (n *Network) stepParallel() {
+	n.partition()
+
+	// Launch 1: recovery drain (message-keyed) + injection starts
+	// (node-keyed). Sequential order is all drain events then all
+	// injection events, so merge fxMsg before fxNode.
+	n.pool.runStage(stageDrainInject)
+	n.mergeMsgEffects()
+	n.absorbInjected()
+	n.mergeNodeEffects()
+
+	// Launch 2: VC allocation + transfer planning (both message-keyed;
+	// allocation conflicts are shard-local, remote transfer requests go
+	// to the reqOut mailboxes).
+	n.pool.runStage(stageAllocPlan)
+	n.mergeMsgEffects()
+	n.blocked = 0
+	for _, w := range n.workers {
+		n.blocked += w.d.blocked
+		w.d.blocked = 0
+	}
+
+	// Launch 3: per-channel and per-node arbitration + ejection. Grants
+	// whose message another shard owns go to the grantOut mailboxes.
+	n.pool.runStage(stageArbEject)
+	n.mergeNodeEffects()
+
+	// Launch 4: commit granted transfers, stream source flits, release
+	// drained VCs and retire completed messages.
+	n.pool.runStage(stageApplyRelease)
+	n.mergeMsgEffects()
+	n.compactActive()
+
+	for _, w := range n.workers {
+		w.flushCounters()
+	}
+}
+
+// partition assigns every active message to the shard owning its header
+// node and stamps its Ord (position in the global active order), the merge
+// key that lets per-shard event streams reproduce sequential order.
+func (n *Network) partition() {
+	for _, w := range n.workers {
+		w.msgs = w.msgs[:0]
+	}
+	for i, m := range n.active {
+		s := n.shardOfNode[n.Downstream(m.Path[len(m.Path)-1])]
+		m.Ord = int32(i)
+		m.Shard = s
+		n.workers[s].msgs = append(n.workers[s].msgs, m)
+	}
+}
+
+// absorbInjected moves newly injected messages into the global active list
+// and their owner shard's partition. Workers are visited in shard order and
+// each buffered its injections in ascending node order, so the resulting
+// active order matches the sequential engine's node-order scan exactly.
+func (n *Network) absorbInjected() {
+	for _, w := range n.workers {
+		for _, m := range w.injected {
+			m.Ord = int32(len(n.active))
+			m.Shard = w.id
+			n.active = append(n.active, m)
+			n.activeDirty = true
+			w.msgs = append(w.msgs, m)
+		}
+		clear(w.injected)
+		w.injected = w.injected[:0]
+	}
+}
+
+// --- Phase kernels -----------------------------------------------------------
+
+// drainRecovering absorbs flits of recovering messages.
+func (w *worker) drainRecovering(msgs []*message.Message) {
+	rate := w.n.p.RecoveryDrainRate
+	if rate <= 0 {
+		return
+	}
+	for _, m := range msgs {
+		if m.Status == message.Recovering {
+			w.curOrd = m.Ord
+			w.absorbFlits(m, rate)
+		}
+	}
+}
+
+// absorbFlits removes up to k flits of m, tail-first (source remainder
+// first, then the earliest owned buffer), so VCs free in acquisition order
+// as a draining worm's would.
+func (w *worker) absorbFlits(m *message.Message, k int) {
+	n := w.n
+	for k > 0 && m.Consumed < m.Len {
+		if m.SrcRemaining > 0 {
+			m.SrcRemaining--
+			m.Consumed++
+			k--
+			continue
+		}
+		// Find the tail-most occupied slot.
+		i := m.Released
+		for i < len(m.Path) && m.Occ[i] == 0 {
+			// An owned but empty slot between tail and head can
+			// only be the not-yet-entered head allocation; skip.
+			i++
+		}
+		if i == len(m.Path) {
+			break
+		}
+		m.Occ[i]--
+		m.Departed[i]++
+		m.Consumed++
+		w.d.absorbedFlits++
+		k--
+	}
+	if m.Consumed == m.Len {
+		m.Status = message.Recovered
+		m.DeliverTime = n.now
+		w.d.recoveredCount++
+		w.emitTrace(trace.RecoveryDone, m.ID, message.NoVC, -1)
+		// Any owned slots the drain skipped (allocated, never entered)
+		// are releasable now; mark them fully departed so the release
+		// phase frees them.
+		for i := m.Released; i < len(m.Path); i++ {
+			m.Departed[i] = int32(m.Len)
+		}
+	}
+}
+
+// startInjections moves queued messages of the shard's nodes into free
+// injection VCs. Node-keyed: effects merge in node order.
+func (w *worker) startInjections() {
+	n := w.n
+	for node := w.nodeLo; node < w.nodeHi; node++ {
+		q := &n.queues[node]
+		m := q.peek()
+		if m == nil {
+			continue
+		}
+		w.curOrd = int32(node)
+		if n.faults != nil {
+			if n.faults.nodeDown[node] {
+				continue // a dead router injects nothing
+			}
+			if n.faults.nodeDown[m.Dst] {
+				// Destination is down: drop rather than inject a
+				// message that can never be consumed.
+				q.pop()
+				w.d.queued--
+				w.dropQueuedDead(m, node)
+				continue
+			}
+		}
+		vc := n.InjVC(node)
+		if n.owner[vc] != nil {
+			continue
+		}
+		q.pop()
+		w.d.queued--
+		n.owner[vc] = m
+		m.Acquire(vc)
+		m.Status = message.Active
+		m.InjectTime = n.now
+		if w.direct {
+			n.active = append(n.active, m)
+			n.activeDirty = true
+		} else {
+			w.injected = append(w.injected, m)
+		}
+		w.d.epoch++
+		w.emitRes(ResAcquire, m.ID, vc, nil)
+		w.emitTrace(trace.Injected, m.ID, vc, node)
+	}
+}
+
+// allocate routes every header sitting at the head of its buffer and tries
+// to allocate the first free candidate VC; failing that the message is
+// marked blocked with its candidate set recorded (the CWG dashed arcs).
+// Shard-local: every candidate VC leaves the header's node, so no other
+// shard competes for it.
+func (w *worker) allocate(msgs []*message.Message) {
+	n := w.n
+	for _, m := range msgs {
+		if m.Status != message.Active {
+			continue
+		}
+		last := len(m.Path) - 1
+		if m.Departed[last] != 0 || m.Occ[last] == 0 {
+			continue // header already departed or not yet arrived
+		}
+		here := n.Downstream(m.Path[last])
+		if here == m.Dst {
+			continue // ejecting; reception handled by arbitrateAndEject
+		}
+		w.curOrd = m.Ord
+		req := routing.Request{
+			Topo:    n.topo,
+			Node:    here,
+			Dst:     m.Dst,
+			VCs:     n.vcs,
+			CurDim:  m.CurDim,
+			Crossed: m.Crossed,
+			PrevCh:  n.prevChannel(m),
+		}
+		if mr, ok := n.p.Routing.(routing.MisroutingFAR); ok && mr.MaxDeroutes > 0 {
+			req.Deroutes = derouteCount(n.topo, m)
+		}
+		w.candBuf = n.p.Routing.Candidates(&req, w.candBuf[:0])
+		if n.faults != nil {
+			cands, ok := w.faultCandidates(m, here, req.PrevCh, w.candBuf)
+			if !ok || len(cands) == 0 {
+				// No live route to the destination on the surviving
+				// graph (or the misroute budget is spent): drop with
+				// a counted stat instead of spinning forever.
+				w.killUnroutable(m, here)
+				continue
+			}
+			w.candBuf = cands
+		} else if len(w.candBuf) == 0 {
+			// The routing relation itself has no continuation for this
+			// header (a disconnected source/destination pair on a
+			// degraded or irregular graph): same drop-with-stat
+			// semantics as a fault disconnection.
+			w.killUnroutable(m, here)
+			continue
+		}
+		granted := false
+		for _, c := range w.candBuf {
+			vc := n.NetVC(c.Ch, c.VC)
+			if n.owner[vc] == nil {
+				n.owner[vc] = m
+				m.Acquire(vc)
+				w.d.epoch++
+				if m.Blocked {
+					w.emitRes(ResUnblock, m.ID, message.NoVC, m.Wants)
+					m.Blocked = false
+					m.Wants = m.Wants[:0]
+					w.emitTrace(trace.Unblocked, m.ID, vc, here)
+				}
+				w.emitRes(ResAcquire, m.ID, vc, nil)
+				w.emitTrace(trace.Allocated, m.ID, vc, here)
+				granted = true
+				break
+			}
+		}
+		if !granted {
+			newly := !m.Blocked
+			if newly {
+				m.Blocked = true
+				m.BlockedSince = n.now
+				w.d.epoch++
+				w.emitTrace(trace.Blocked, m.ID, message.NoVC, here)
+			}
+			m.Wants = m.Wants[:0]
+			for _, c := range w.candBuf {
+				m.Wants = append(m.Wants, n.NetVC(c.Ch, c.VC))
+			}
+			if newly {
+				w.emitRes(ResBlock, m.ID, message.NoVC, m.Wants)
+			}
+			w.d.blocked++
+		}
+	}
+}
+
+// planTransfers registers this cycle's flit-movement requests from
+// pre-cycle state: per physical channel for link traversals (into the
+// channel owner's request table, or its mailbox when remote) and per node
+// for ejection at the destination (always shard-local: the requester's
+// header is at that node).
+func (w *worker) planTransfers(msgs []*message.Message) {
+	n := w.n
+	for _, m := range msgs {
+		if m.Status != message.Active {
+			continue
+		}
+		last := len(m.Path) - 1
+		for i := m.Released; i <= last; i++ {
+			if m.Occ[i] == 0 {
+				continue
+			}
+			if i < last {
+				next := m.Path[i+1]
+				if m.Occ[i+1] < n.bufDepth(next) {
+					ch := n.VCChannel(next)
+					if w.direct || n.shardOfCh[ch] == w.id {
+						if len(n.chReqs[ch]) == 0 {
+							w.chDirty = append(w.chDirty, int32(ch))
+						}
+						n.chReqs[ch] = append(n.chReqs[ch], transfer{msg: m, slot: i})
+					} else {
+						t := n.shardOfCh[ch]
+						w.reqOut[t] = append(w.reqOut[t], transfer{msg: m, slot: i})
+					}
+				}
+			} else if n.Downstream(m.Path[last]) == m.Dst {
+				// Flits at the head buffer of a message whose
+				// header has reached the destination: request
+				// the reception channel.
+				if len(n.rxReqs[m.Dst]) == 0 {
+					w.rxDirty = append(w.rxDirty, int32(m.Dst))
+				}
+				n.rxReqs[m.Dst] = append(n.rxReqs[m.Dst], m)
+			}
+		}
+	}
+}
+
+// arbitrateAndEject grants one transfer per requested physical channel and
+// one ejection per requested reception port. In direct mode grants commit
+// immediately (the sequential engine's order: channel commits, then
+// ejections); otherwise a grant is routed to the mailbox of the shard
+// owning its message, because committing writes message state.
+func (w *worker) arbitrateAndEject() {
+	n := w.n
+	if !w.direct {
+		// Adopt transfer requests other shards planned for our channels.
+		for _, src := range n.workers {
+			in := src.reqOut[w.id]
+			for _, t := range in {
+				ch := n.VCChannel(t.msg.Path[t.slot+1])
+				if len(n.chReqs[ch]) == 0 {
+					w.chDirty = append(w.chDirty, int32(ch))
+				}
+				n.chReqs[ch] = append(n.chReqs[ch], t)
+			}
+			clear(in)
+			src.reqOut[w.id] = in[:0]
+		}
+	}
+	// Grant per physical channel: round-robin over VC index. Winners are
+	// order-independent (unique keys), so chDirty needs no sorting.
+	for _, ch32 := range w.chDirty {
+		ch := topology.ChannelID(ch32)
+		reqs := n.chReqs[ch]
+		var grant transfer
+		if len(reqs) == 1 {
+			grant = reqs[0]
+		} else {
+			grant = n.arbitrate(ch, reqs)
+		}
+		if w.direct {
+			n.commit(grant)
+		} else {
+			w.grantOut[grant.msg.Shard] = append(w.grantOut[grant.msg.Shard], grant)
+		}
+		n.chRR[ch] = int32(n.VCIndex(grant.msg.Path[grant.slot+1]))
+		clear(reqs)
+		n.chReqs[ch] = reqs[:0]
+	}
+	w.chDirty = w.chDirty[:0]
+	// Grant reception: round-robin over head VC id per node, in ascending
+	// node order (the deterministic replacement for the old map walk).
+	slices.Sort(w.rxDirty)
+	for _, node32 := range w.rxDirty {
+		node := int(node32)
+		reqs := n.rxReqs[node]
+		m := n.arbitrateRx(node, reqs)
+		w.curOrd = node32
+		w.eject(m)
+		clear(reqs)
+		n.rxReqs[node] = reqs[:0]
+	}
+	w.rxDirty = w.rxDirty[:0]
+}
+
+// eject consumes one flit of m at its destination.
+func (w *worker) eject(m *message.Message) {
+	n := w.n
+	last := len(m.Path) - 1
+	m.Occ[last]--
+	m.Departed[last]++
+	m.Consumed++
+	w.d.deliveredFlits++
+	if m.Consumed == m.Len {
+		m.Status = message.Delivered
+		m.DeliverTime = n.now
+		if m.Blocked {
+			w.emitRes(ResUnblock, m.ID, message.NoVC, m.Wants)
+			m.Blocked = false
+			w.d.epoch++
+		}
+		m.Wants = nil
+		w.d.deliveredCount++
+		w.emitTrace(trace.Delivered, m.ID, message.NoVC, m.Dst)
+	}
+}
+
+// applyAndRelease commits granted transfers for this shard's messages,
+// streams source flits into injection buffers, then frees VCs whose
+// buffers the tail has fully drained and retires completed messages.
+func (w *worker) applyAndRelease(msgs []*message.Message) {
+	n := w.n
+	if !w.direct {
+		for _, src := range n.workers {
+			in := src.grantOut[w.id]
+			for _, g := range in {
+				n.commit(g)
+			}
+			clear(in)
+			src.grantOut[w.id] = in[:0]
+		}
+	}
+	// Source flits flow on post-transfer occupancy, so a flit entering the
+	// injection buffer this cycle cannot also traverse a link this cycle:
+	// one flit per cycle (dedicated channel, no arbitration).
+	for _, m := range msgs {
+		if m.Status == message.Active && m.SrcRemaining > 0 && m.Occ[0] < n.inj && m.Released == 0 {
+			m.Occ[0]++
+			m.SrcRemaining--
+			w.d.injectedFlits++
+		}
+	}
+	// Release drained VCs and retire completed messages.
+	for _, m := range msgs {
+		w.curOrd = m.Ord
+		for m.Released < len(m.Path) && m.Departed[m.Released] == int32(m.Len) {
+			w.emitRes(ResRelease, m.ID, m.Path[m.Released], nil)
+			n.owner[m.Path[m.Released]] = nil
+			m.Released++
+			w.d.epoch++
+		}
+		if (m.Status == message.Delivered || m.Status == message.Recovered ||
+			m.Status == message.Killed) && m.Released == len(m.Path) {
+			w.emitDeliver(m)
+		}
+	}
+}

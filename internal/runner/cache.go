@@ -26,14 +26,17 @@ import (
 const cacheFile = "results.jsonl"
 
 // nonSemantic names Config fields that never influence the measured Result
-// (observability cadence and rendering switches); they are excluded from
-// the cache key so toggling instrumentation does not invalidate finished
-// runs. Fields of func/interface/pointer kind (Tracer, MetricsSink,
-// MetricsLive, Incidents) are runtime plumbing and are skipped by kind.
+// (observability cadence and rendering switches, and the shard count — an
+// execution strategy the parallel engine guarantees is result-invariant);
+// they are excluded from the cache key so toggling instrumentation or
+// re-running on a different core count does not invalidate finished runs.
+// Fields of func/interface/pointer kind (Tracer, MetricsSink, MetricsLive,
+// Incidents) are runtime plumbing and are skipped by kind.
 var nonSemantic = map[string]bool{
 	"MetricsEvery":   true,
 	"IncidentDOT":    true,
 	"ForensicsDepth": true,
+	"Shards":         true,
 }
 
 // CanonicalConfig returns the canonical JSON encoding of a configuration:

@@ -1,0 +1,182 @@
+package sim_test
+
+// Shard-count equivalence: the parallel cycle engine must be bit-identical
+// to the sequential engine for any shard count — same stats.Result, same
+// trace event stream (order included), same incident post-mortems. This is
+// the contract that makes Shards safe to exclude from the content-addressed
+// cache key and safe to default from the machine's core count.
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flexsim/internal/obs"
+	"flexsim/internal/sim"
+	"flexsim/internal/stats"
+	"flexsim/internal/trace"
+)
+
+// eventLog is a Tracer that retains the complete event stream.
+type eventLog struct {
+	evs []trace.Event
+}
+
+func (l *eventLog) Trace(e trace.Event) { l.evs = append(l.evs, e) }
+
+// shardRun executes cfg at the given shard count and returns the canonical
+// observable outputs: the Result JSON (wall-clock detector timing zeroed —
+// it is the one legitimately nondeterministic field), the full trace event
+// stream, and the incident post-mortem JSONL.
+func shardRun(t *testing.T, cfg sim.Config, shards int) (string, []trace.Event, string) {
+	t.Helper()
+	log := &eventLog{}
+	cfg.Shards = shards
+	cfg.Tracer = log
+	cfg.Incidents = &obs.IncidentLog{}
+	cfg.IncidentDOT = true
+	cfg.ForensicsDepth = 1 << 14
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.DetectBuildTime = stats.Histogram{}
+	res.DetectAnalyzeTime = stats.Histogram{}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inc strings.Builder
+	if err := cfg.Incidents.WriteJSONL(&inc); err != nil {
+		t.Fatal(err)
+	}
+	return string(b), log.evs, inc.String()
+}
+
+// assertShardEquivalent runs cfg at every shard count in shards and
+// requires byte-identical outputs versus the first entry (the reference,
+// conventionally 1).
+func assertShardEquivalent(t *testing.T, cfg sim.Config, shards []int) {
+	t.Helper()
+	refRes, refEvs, refInc := shardRun(t, cfg, shards[0])
+	for _, s := range shards[1:] {
+		res, evs, inc := shardRun(t, cfg, s)
+		if res != refRes {
+			t.Errorf("shards=%d: stats.Result diverged from shards=%d\n ref: %s\n got: %s",
+				s, shards[0], refRes, res)
+		}
+		if len(evs) != len(refEvs) {
+			t.Errorf("shards=%d: %d trace events, reference has %d", s, len(evs), len(refEvs))
+		} else {
+			for i := range evs {
+				if evs[i] != refEvs[i] {
+					t.Errorf("shards=%d: trace event %d = %+v, reference %+v", s, i, evs[i], refEvs[i])
+					break
+				}
+			}
+		}
+		if inc != refInc {
+			t.Errorf("shards=%d: incident JSONL diverged from shards=%d", s, shards[0])
+		}
+	}
+}
+
+// equivBase is a fast deadlocking configuration: 4-ary 2-cube past
+// saturation with recovery, small windows.
+func equivBase() sim.Config {
+	c := sim.Default()
+	c.K = 4
+	c.Load = 1.0
+	c.WarmupCycles = 200
+	c.MeasureCycles = 800
+	return c
+}
+
+// TestShardEquivalence is the deterministic table-driven variant of
+// FuzzShardEquivalence; it runs in -short mode.
+func TestShardEquivalence(t *testing.T) {
+	cases := []struct {
+		name   string
+		mut    func(*sim.Config)
+		shards []int
+	}{
+		{"torus-tfar-saturated", func(c *sim.Config) {}, []int{1, 2, 4, 8}},
+		{"torus-vc3-dateline-most", func(c *sim.Config) {
+			c.VCs = 3
+			c.Routing = "dateline-dor"
+			c.VictimPolicy = "most"
+			c.KnotCycles = true
+		}, []int{1, 3, 8}},
+		{"mesh-west-first-transpose", func(c *sim.Config) {
+			c.Mesh = true
+			c.Routing = "west-first"
+			c.Traffic = "transpose"
+			c.VCs = 2
+		}, []int{1, 4}},
+		{"irregular-updown-hotspot", func(c *sim.Config) {
+			c.IrregularNodes = 24
+			c.IrregularLinks = 10
+			c.Routing = "updown"
+			c.Traffic = "hotspot"
+			c.HotspotFrac = 0.3
+		}, []int{1, 5}},
+		{"faulty-links-random-victim", func(c *sim.Config) {
+			c.FaultLinkMTTF = 300
+			c.FaultRepair = 150
+			c.VictimPolicy = "random"
+			c.RecoveryDrainRate = 0 // instant absorption
+		}, []int{1, 2, 7}},
+		{"workload-stencil", func(c *sim.Config) {
+			c.Workload = "stencil"
+			c.WorkloadPhases = 3
+			c.ComputeDelay = 5
+			c.WarmupCycles = 0
+			c.MeasureCycles = 4000
+		}, []int{1, 4}},
+		{"misroute-far-invariants", func(c *sim.Config) {
+			c.Routing = "misroute-far"
+			c.VCs = 2
+			c.CheckInvariants = true
+			c.MeasureCycles = 400
+		}, []int{1, 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := equivBase()
+			tc.mut(&cfg)
+			assertShardEquivalent(t, cfg, tc.shards)
+		})
+	}
+}
+
+// FuzzShardEquivalence fuzzes (topology, seed, vcs, load, victim policy,
+// fault rate, shard count 1–8) and asserts byte-identical results versus
+// the 1-shard reference.
+func FuzzShardEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(1), uint8(100), uint8(0), uint8(0), uint8(4))
+	f.Add(uint64(7), uint8(1), uint8(2), uint8(80), uint8(1), uint8(0), uint8(3))
+	f.Add(uint64(42), uint8(2), uint8(3), uint8(120), uint8(2), uint8(40), uint8(8))
+	f.Add(uint64(1234), uint8(0), uint8(2), uint8(100), uint8(3), uint8(25), uint8(5))
+	f.Fuzz(func(t *testing.T, seed uint64, topoSel, vcs, loadPct, policySel, mttf, shards uint8) {
+		cfg := equivBase()
+		cfg.Seed = seed%1000 + 1
+		switch topoSel % 3 {
+		case 1:
+			cfg.Mesh = true
+			cfg.Routing = "negative-first"
+		case 2:
+			cfg.IrregularNodes = 20
+			cfg.IrregularLinks = 8
+			cfg.Routing = "updown"
+		}
+		cfg.VCs = 1 + int(vcs%4)
+		cfg.Load = float64(50+int(loadPct)%101) / 100 // 0.50 .. 1.50
+		cfg.VictimPolicy = []string{"oldest", "most", "fewest", "random"}[policySel%4]
+		if mttf > 0 {
+			cfg.FaultLinkMTTF = 100 + int(mttf)*10
+			cfg.FaultRepair = 100
+		}
+		s := 2 + int(shards)%7 // 2..8
+		assertShardEquivalent(t, cfg, []int{1, s})
+	})
+}

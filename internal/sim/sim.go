@@ -4,9 +4,12 @@
 // (recovering from any deadlock it finds, including during warmup), and
 // report a stats.Result.
 //
-// The cycle loop is single-goroutine and fully deterministic per seed;
-// parallelism belongs one level up (core.LoadSweep runs independent points
-// on separate goroutines).
+// The cycle loop is driven from a single goroutine and fully deterministic
+// per seed; Config.Shards > 1 parallelizes the inside of each network step
+// across a worker pool without changing any result bit (see
+// internal/network's parallel cycle engine), while run-level parallelism
+// belongs one level up (core.LoadSweep runs independent points on separate
+// goroutines).
 package sim
 
 import (
@@ -79,6 +82,12 @@ type Config struct {
 	Seed          uint64
 	WarmupCycles  int
 	MeasureCycles int
+	// Shards is the number of worker-pool shards stepping the network in
+	// parallel: 1 = sequential, AutoShards (-1) = min(GOMAXPROCS,
+	// nodes/4), 0 = consult FLEXSIM_SHARDS then default to 1. Shard count
+	// never changes results — it is execution strategy, not physics — and
+	// is therefore excluded from the content-addressed cache key.
+	Shards int
 
 	// Fault injection (see the fault package). FaultEvents is an explicit
 	// schedule (e.g. parsed from a -fault-schedule file). FaultLinkMTTF,
@@ -256,6 +265,7 @@ func NewRunner(c Config) (*Runner, error) {
 		BufferDepth:       c.BufferDepth,
 		Routing:           alg,
 		RecoveryDrainRate: c.RecoveryDrainRate,
+		Shards:            c.Shards,
 		CheckInvariants:   c.CheckInvariants,
 		Tracer:            tracer,
 	})
@@ -545,8 +555,19 @@ func (r *Runner) StartMeasurement() {
 	r.measuring = true
 }
 
-// Finish folds detector aggregates into the result and returns it.
+// AutoShards mirrors network.AutoShards for Config.Shards.
+const AutoShards = network.AutoShards
+
+// Close releases the network's worker pool (a no-op for sequential runs).
+// Finish calls it; only callers that step a Runner manually and abandon it
+// without Finish need to Close explicitly.
+func (r *Runner) Close() { r.Net.Close() }
+
+// Finish folds detector aggregates into the result and returns it, and
+// stops the network's worker pool (stepping past Finish falls back to the
+// sequential engine).
 func (r *Runner) Finish() *stats.Result {
+	r.Net.Close()
 	res := &r.res
 	res.Cycles = int64(r.Cfg.MeasureCycles)
 	if r.samples > 0 {
