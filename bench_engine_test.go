@@ -1,0 +1,219 @@
+// Engine-telemetry benchmarks and the bench-compare guard.
+//
+// The telemetry contract is "zero-cost when disabled": the profiled step
+// drivers are separate functions selected once at attach time, so a run
+// without an EngineStats executes PR 6's engine unchanged. Two artifacts
+// enforce and document that:
+//
+//   - TestBenchCompare (FLEXSIM_BENCH_COMPARE=1) re-measures the obs-off
+//     1-shard cycle and fails on >5% ns/cycle regression against a baseline
+//     BENCH_shards.json from the same machine class, and on ANY allocs/op
+//     growth regardless of machine (allocation counts are deterministic).
+//
+//   - TestEmitEngineBench (FLEXSIM_BENCH_ENGINE_OUT=...) writes
+//     BENCH_engine.json: telemetry-off vs telemetry-on cost at 1 and 4
+//     shards plus the measured phase/stall breakdown of a profiled run.
+//
+//     go test -run='^$' -bench=SimCycleEngine -benchmem .
+package flexsim_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"flexsim/internal/network"
+	"flexsim/internal/sim"
+)
+
+// engineBenchRunner is shardBenchRunner with engine telemetry attached: the
+// same saturated 16-ary 2-cube, stepping through the profiled drivers.
+func engineBenchRunner(tb testing.TB, shards int) *sim.Runner {
+	tb.Helper()
+	cfg := sim.Default()
+	cfg.Load = 1.0
+	cfg.DetectEvery = 1 << 30
+	cfg.WarmupCycles = 0
+	cfg.MetricsEvery = 0
+	cfg.Shards = shards
+	cfg.ProfileEngine = true
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ { // reach saturation occupancy
+		r.StepCycle()
+	}
+	return r
+}
+
+func benchSimCycleEngine(b *testing.B, shards int) {
+	r := engineBenchRunner(b, shards)
+	defer r.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.StepCycle()
+	}
+}
+
+// BenchmarkSimCycleEngineProfiled{1,4}: the telemetry-ON cost, to compare
+// against BenchmarkSimCycleShards{1,4} (telemetry off). The delta is the
+// price of -profile-engine, not of the default configuration.
+func BenchmarkSimCycleEngineProfiled1(b *testing.B) { benchSimCycleEngine(b, 1) }
+func BenchmarkSimCycleEngineProfiled4(b *testing.B) { benchSimCycleEngine(b, 4) }
+
+// engineBenchPoint is one telemetry-off/on pair at a shard count.
+type engineBenchPoint struct {
+	Shards        int     `json:"shards"`
+	OffNsPerCycle float64 `json:"off_ns_per_cycle"`
+	OnNsPerCycle  float64 `json:"on_ns_per_cycle"`
+	OverheadFrac  float64 `json:"overhead_frac"`
+	OffAllocs     int64   `json:"off_allocs_per_op"`
+	OnAllocs      int64   `json:"on_allocs_per_op"`
+}
+
+// enginePhaseSummary is the measured share of one engine phase in a
+// profiled run.
+type enginePhaseSummary struct {
+	Phase     string  `json:"phase"`
+	BusyFrac  float64 `json:"busy_frac"`
+	StallFrac float64 `json:"stall_frac_of_wall"`
+}
+
+// engineBenchFile is the BENCH_engine.json envelope.
+type engineBenchFile struct {
+	Benchmark  string               `json:"benchmark"`
+	Network    string               `json:"network"`
+	GoVersion  string               `json:"go_version"`
+	GOOS       string               `json:"goos"`
+	GOARCH     string               `json:"goarch"`
+	NumCPU     int                  `json:"num_cpu"`
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	Points     []engineBenchPoint   `json:"points"`
+	Phases     []enginePhaseSummary `json:"phases"`
+	CrossShard int64                `json:"cross_shard_transfers"`
+}
+
+// TestEmitEngineBench measures telemetry-off vs telemetry-on at 1 and 4
+// shards plus a phase-timing summary and writes BENCH_engine.json to
+// $FLEXSIM_BENCH_ENGINE_OUT; without the variable it is a no-op.
+func TestEmitEngineBench(t *testing.T) {
+	out := os.Getenv("FLEXSIM_BENCH_ENGINE_OUT")
+	if out == "" {
+		t.Skip("set FLEXSIM_BENCH_ENGINE_OUT to write BENCH_engine.json")
+	}
+	file := engineBenchFile{
+		Benchmark:  "BenchmarkSimCycleEngineProfiled",
+		Network:    "16-ary 2-cube, tfar, load 1.0, detector off",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, shards := range []int{1, 4} {
+		s := shards
+		off := testing.Benchmark(func(b *testing.B) { benchSimCycleShards(b, s) })
+		on := testing.Benchmark(func(b *testing.B) { benchSimCycleEngine(b, s) })
+		offNs, onNs := float64(off.NsPerOp()), float64(on.NsPerOp())
+		file.Points = append(file.Points, engineBenchPoint{
+			Shards:        shards,
+			OffNsPerCycle: offNs,
+			OnNsPerCycle:  onNs,
+			OverheadFrac:  (onNs - offNs) / offNs,
+			OffAllocs:     off.AllocsPerOp(),
+			OnAllocs:      on.AllocsPerOp(),
+		})
+	}
+	// Phase breakdown from a dedicated profiled 4-shard run.
+	r := engineBenchRunner(t, 4)
+	for i := 0; i < 2000; i++ {
+		r.StepCycle()
+	}
+	es := r.Net.EngineStatsAttached()
+	busy, wall := es.BusyNs(), es.TotalWallNs()
+	for ph := 0; ph < network.EnginePhases; ph++ {
+		var phBusy int64
+		for s := range es.PhaseNs {
+			phBusy += es.PhaseNs[s][ph]
+		}
+		file.Phases = append(file.Phases, enginePhaseSummary{
+			Phase:     network.EnginePhaseNames[ph],
+			BusyFrac:  frac(phBusy, busy),
+			StallFrac: frac(es.StallNs[ph], wall),
+		})
+	}
+	file.CrossShard = es.CrossShardTransfers()
+	r.Close()
+
+	b, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+func frac(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// TestBenchCompare is the CI bench-compare gate: with FLEXSIM_BENCH_COMPARE=1
+// it re-measures the obs-off 1-shard cycle and compares it against the
+// baseline file ($FLEXSIM_BENCH_BASELINE, default BENCH_shards.json).
+// Allocations are deterministic, so any allocs/op growth fails on every
+// machine; the >5% ns/cycle gate applies only when the baseline came from
+// the same machine class (equal GOARCH and CPU count) — wall-clock numbers
+// from a different machine are not comparable and are only logged.
+func TestBenchCompare(t *testing.T) {
+	if os.Getenv("FLEXSIM_BENCH_COMPARE") == "" {
+		t.Skip("set FLEXSIM_BENCH_COMPARE=1 to run the bench-compare gate")
+	}
+	path := os.Getenv("FLEXSIM_BENCH_BASELINE")
+	if path == "" {
+		path = "BENCH_shards.json"
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("bench baseline: %v", err)
+	}
+	var base shardBenchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("bench baseline %s: %v", path, err)
+	}
+	var ref *shardBenchPoint
+	for i := range base.Points {
+		if base.Points[i].Shards == 1 {
+			ref = &base.Points[i]
+		}
+	}
+	if ref == nil {
+		t.Fatalf("baseline %s has no 1-shard point", path)
+	}
+
+	res := testing.Benchmark(func(b *testing.B) { benchSimCycleShards(b, 1) })
+	ns := float64(res.NsPerOp())
+	t.Logf("obs-off SimCycleShards1: %.0f ns/cycle, %d allocs/op (baseline %.0f ns, %d allocs from %s/%d-cpu)",
+		ns, res.AllocsPerOp(), ref.NsPerCycle, ref.AllocsPerOp, base.GOARCH, base.NumCPU)
+
+	if res.AllocsPerOp() > ref.AllocsPerOp {
+		t.Errorf("allocs/op grew: %d > baseline %d — the disabled hot path is no longer allocation-identical",
+			res.AllocsPerOp(), ref.AllocsPerOp)
+	}
+	sameMachine := base.GOARCH == runtime.GOARCH && base.NumCPU == runtime.NumCPU()
+	if !sameMachine {
+		t.Logf("baseline machine differs (%s/%d-cpu vs %s/%d-cpu); ns gate skipped, allocs gate enforced",
+			base.GOARCH, base.NumCPU, runtime.GOARCH, runtime.NumCPU())
+		return
+	}
+	if ns > 1.05*ref.NsPerCycle {
+		t.Errorf("obs-off SimCycleShards1 regressed >5%%: %.0f ns/cycle vs baseline %.0f", ns, ref.NsPerCycle)
+	}
+}

@@ -84,6 +84,14 @@ func run() int {
 		opts.MetricsSink = sink
 		opts.MetricsEvery = common.MetricsEvery
 	}
+	opts.ForensicsDepth = common.ForensicsDepth
+	opts.SpansPath = flags.PerRunPath(common.SpansOut)
+	opts.HeatmapPath = flags.PerRunPath(common.HeatmapOut)
+	engProf := common.EngineProfileSink()
+	if engProf != nil {
+		opts.ProfileEngine = true
+		opts.EngineSink = engProf
+	}
 	var progress *obs.SweepProgress
 	if common.HTTPAddr != "" {
 		progress = obs.NewSweepProgress(ids)
@@ -178,6 +186,15 @@ func run() int {
 		if err := cache.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "charsweep:", err)
 			return 1
+		}
+	}
+	if engProf != nil {
+		if err := common.WriteEngineProfile(engProf); err != nil {
+			fmt.Fprintln(os.Stderr, "charsweep:", err)
+			return 1
+		}
+		if common.ProfileEngineOut != "" {
+			fmt.Fprintf(os.Stderr, "charsweep: wrote engine profile to %s\n", common.ProfileEngineOut)
 		}
 	}
 	if sinkClose != nil {

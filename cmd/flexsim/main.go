@@ -78,8 +78,8 @@ func run() int {
 		cfg.Tracer = tracers
 	}
 	var spansFile *os.File
-	if extras.SpansOut != "" {
-		f, err := os.Create(extras.SpansOut)
+	if common.SpansOut != "" {
+		f, err := os.Create(common.SpansOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "flexsim:", err)
 			return 1
@@ -88,9 +88,15 @@ func run() int {
 		cfg.Spans = trace.NewPerfetto(f)
 	}
 	var heatmap *obs.Heatmap
-	if extras.HeatmapOut != "" {
+	if common.HeatmapOut != "" {
 		heatmap = &obs.Heatmap{}
 		cfg.Heatmap = heatmap
+	}
+	cfg.ForensicsDepth = common.ForensicsDepth
+	engProf := common.EngineProfileSink()
+	if engProf != nil {
+		cfg.ProfileEngine = true
+		cfg.EngineSink = engProf
 	}
 
 	sink, sinkClose, err := common.OpenMetricsSink()
@@ -231,10 +237,10 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "flexsim:", werr)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "flexsim: wrote Perfetto trace to %s (load in ui.perfetto.dev)\n", extras.SpansOut)
+		fmt.Fprintf(os.Stderr, "flexsim: wrote Perfetto trace to %s (load in ui.perfetto.dev)\n", common.SpansOut)
 	}
 	if heatmap != nil {
-		f, err := os.Create(extras.HeatmapOut)
+		f, err := os.Create(common.HeatmapOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "flexsim:", err)
 			return 1
@@ -248,7 +254,16 @@ func run() int {
 			return 1
 		}
 		fmt.Fprintf(os.Stderr, "flexsim: wrote %d-VC heatmap to %s (%d samples)\n",
-			heatmap.VCs(), extras.HeatmapOut, heatmap.Samples())
+			heatmap.VCs(), common.HeatmapOut, heatmap.Samples())
+	}
+	if engProf != nil {
+		if err := common.WriteEngineProfile(engProf); err != nil {
+			fmt.Fprintln(os.Stderr, "flexsim:", err)
+			return 1
+		}
+		if common.ProfileEngineOut != "" {
+			fmt.Fprintf(os.Stderr, "flexsim: wrote engine profile to %s\n", common.ProfileEngineOut)
+		}
 	}
 	if sinkClose != nil {
 		if err := sinkClose(); err != nil {

@@ -26,16 +26,23 @@ import (
 
 // Values holds the flags shared by both CLIs: run control (timeout), the
 // content-addressed result cache (-cache-dir/-resume), interval metrics,
-// the HTTP introspection endpoint, and profiling.
+// the observability artifacts (Perfetto spans, VC heatmap, formation
+// forensics, engine profiling), the HTTP introspection endpoint, and
+// profiling.
 type Values struct {
-	Timeout      time.Duration
-	CacheDir     string
-	Resume       bool
-	MetricsOut   string
-	MetricsEvery int
-	HTTPAddr     string
-	CPUProfile   string
-	MemProfile   string
+	Timeout          time.Duration
+	CacheDir         string
+	Resume           bool
+	MetricsOut       string
+	MetricsEvery     int
+	SpansOut         string
+	HeatmapOut       string
+	ForensicsDepth   int
+	ProfileEngine    bool
+	ProfileEngineOut string
+	HTTPAddr         string
+	CPUProfile       string
+	MemProfile       string
 }
 
 // Def is one row of a flag table: the flag's name, its help text, and the
@@ -59,6 +66,22 @@ var Common = []Def[*Values]{
 	{"metrics-every", "interval metrics sampling period in cycles",
 		func(fs *flag.FlagSet, v *Values, usage string) {
 			fs.IntVar(&v.MetricsEvery, "metrics-every", obs.DefaultEvery, usage)
+		}},
+	{"spans-out", "write each run as a Chrome trace-event (Perfetto) JSON file of per-message spans, detector passes and engine worker lanes (charsweep writes one file per run)",
+		func(fs *flag.FlagSet, v *Values, usage string) { fs.StringVar(&v.SpansOut, "spans-out", "", usage) }},
+	{"heatmap-out", "write a per-VC occupancy/block heatmap CSV after each run (charsweep writes one file per run)",
+		func(fs *flag.FlagSet, v *Values, usage string) { fs.StringVar(&v.HeatmapOut, "heatmap-out", "", usage) }},
+	{"forensics-depth", "resource-event ring size for deadlock formation replay (0 = off; incidents gain formation metrics)",
+		func(fs *flag.FlagSet, v *Values, usage string) {
+			fs.IntVar(&v.ForensicsDepth, "forensics-depth", 0, usage)
+		}},
+	{"profile-engine", "profile the parallel cycle engine (per-shard phase timings, barrier stalls, cross-shard traffic) and print an imbalance report to stderr",
+		func(fs *flag.FlagSet, v *Values, usage string) {
+			fs.BoolVar(&v.ProfileEngine, "profile-engine", false, usage)
+		}},
+	{"profile-engine-out", "write the engine profile report as JSON to this file (implies -profile-engine)",
+		func(fs *flag.FlagSet, v *Values, usage string) {
+			fs.StringVar(&v.ProfileEngineOut, "profile-engine-out", "", usage)
 		}},
 	{"http", "serve /metrics, /healthz and /progress on this address while running",
 		func(fs *flag.FlagSet, v *Values, usage string) { fs.StringVar(&v.HTTPAddr, "http", "", usage) }},
@@ -88,8 +111,6 @@ type Extras struct {
 	TraceJSON     string
 	IncidentsOut  string
 	IncidentsDOT  bool
-	SpansOut      string
-	HeatmapOut    string
 	FaultSchedule string
 }
 
@@ -206,18 +227,6 @@ var ConfigDefs = []Def[configTarget]{
 	{"incidents-dot", "include a Graphviz knot-subgraph snapshot in each incident",
 		func(fs *flag.FlagSet, t configTarget, usage string) {
 			fs.BoolVar(&t.X.IncidentsDOT, "incidents-dot", false, usage)
-		}},
-	{"spans-out", "write the run as a Chrome trace-event (Perfetto) JSON file of per-message spans and detector passes",
-		func(fs *flag.FlagSet, t configTarget, usage string) {
-			fs.StringVar(&t.X.SpansOut, "spans-out", "", usage)
-		}},
-	{"forensics-depth", "resource-event ring size for deadlock formation replay (0 = off; incidents gain formation metrics)",
-		func(fs *flag.FlagSet, t configTarget, usage string) {
-			fs.IntVar(&t.C.ForensicsDepth, "forensics-depth", 0, usage)
-		}},
-	{"heatmap-out", "write a per-VC occupancy/block heatmap CSV to this file after the run",
-		func(fs *flag.FlagSet, t configTarget, usage string) {
-			fs.StringVar(&t.X.HeatmapOut, "heatmap-out", "", usage)
 		}},
 	{"fault-link-mttf", faultMTTFUsage,
 		func(fs *flag.FlagSet, t configTarget, usage string) {
@@ -411,6 +420,53 @@ func (v *Values) OpenCache() (*runner.Cache, error) {
 		c.Forget()
 	}
 	return c, nil
+}
+
+// EngineProfileSink returns the engine-telemetry aggregator selected by
+// -profile-engine/-profile-engine-out, or nil when profiling is off. The
+// returned profile is concurrency-safe, so charsweep shares one across all
+// runs of a sweep.
+func (v *Values) EngineProfileSink() *obs.EngineProfile {
+	if !v.ProfileEngine && v.ProfileEngineOut == "" {
+		return nil
+	}
+	return &obs.EngineProfile{}
+}
+
+// WriteEngineProfile renders the end-of-run engine report: the text table
+// to stderr, and — when -profile-engine-out is set — the JSON form to that
+// file.
+func (v *Values) WriteEngineProfile(p *obs.EngineProfile) error {
+	rep := p.Report()
+	if err := rep.WriteText(os.Stderr); err != nil {
+		return err
+	}
+	if v.ProfileEngineOut == "" {
+		return nil
+	}
+	f, err := os.Create(v.ProfileEngineOut)
+	if err != nil {
+		return err
+	}
+	werr := rep.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// PerRunPath makes an artifact path safe for a multi-run sweep: if the
+// path has no "*" placeholder (which sim expands to a per-run stem), one
+// is inserted before the extension so concurrent runs do not clobber each
+// other. Empty paths pass through.
+func PerRunPath(path string) string {
+	if path == "" || strings.Contains(path, "*") {
+		return path
+	}
+	if dot := strings.LastIndex(path, "."); dot > strings.LastIndex(path, "/") {
+		return path[:dot] + "-*" + path[dot:]
+	}
+	return path + "-*"
 }
 
 // OpenMetricsSink creates the -metrics-out sink. The returned close

@@ -24,6 +24,7 @@ func TestBindFlexsimSurface(t *testing.T) {
 		"-k", "8", "-vcs", "3", "-routing", "dor", "-load", "0.9",
 		"-uni", "-no-recover", "-census",
 		"-spans-out", "trace.json", "-forensics-depth", "4096", "-heatmap-out", "heat.csv",
+		"-profile-engine", "-profile-engine-out", "engine.json",
 		"-shards", "4",
 		"-timeout", "90s", "-cache-dir", "/tmp/c", "-resume=false",
 	})
@@ -35,14 +36,20 @@ func TestBindFlexsimSurface(t *testing.T) {
 	if cfg.K != 8 || cfg.VCs != 3 || cfg.Routing != "dor" || cfg.Load != 0.9 {
 		t.Errorf("config flags misbound: %+v", cfg)
 	}
-	if cfg.ForensicsDepth != 4096 {
-		t.Errorf("ForensicsDepth = %d, want 4096", cfg.ForensicsDepth)
+	if v.ForensicsDepth != 4096 {
+		t.Errorf("ForensicsDepth = %d, want 4096", v.ForensicsDepth)
 	}
 	if cfg.Shards != 4 {
 		t.Errorf("Shards = %d, want 4", cfg.Shards)
 	}
-	if x.SpansOut != "trace.json" || x.HeatmapOut != "heat.csv" {
-		t.Errorf("forensics outputs misbound: %+v", x)
+	if v.SpansOut != "trace.json" || v.HeatmapOut != "heat.csv" {
+		t.Errorf("observability outputs misbound: %+v", v)
+	}
+	if !v.ProfileEngine || v.ProfileEngineOut != "engine.json" {
+		t.Errorf("engine profiling flags misbound: %+v", v)
+	}
+	if v.EngineProfileSink() == nil {
+		t.Error("EngineProfileSink() = nil with -profile-engine set")
 	}
 	if cfg.Bidirectional || cfg.Recover || !cfg.CycleCensus {
 		t.Errorf("inverted extras misapplied: Bidirectional=%v Recover=%v Census=%v",
@@ -63,12 +70,25 @@ func TestBindCharsweepSurface(t *testing.T) {
 	err := fs.Parse([]string{
 		"-experiment", "fig5", "-quick", "-loads", "0.2, 0.6,1.0",
 		"-parallel", "4", "-timeout", "1m",
+		"-spans-out", "traces/run.json", "-heatmap-out", "heat.csv", "-forensics-depth", "1024",
+		"-profile-engine",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.Experiment != "fig5" || !s.Quick || s.Parallel != 4 {
 		t.Errorf("sweep flags misbound: %+v", s)
+	}
+	// Flag parity with flexsim: the observability artifacts bind through the
+	// shared table, and the sweep-side paths gain a per-run "*" placeholder.
+	if v.SpansOut != "traces/run.json" || v.HeatmapOut != "heat.csv" || v.ForensicsDepth != 1024 {
+		t.Errorf("observability flags misbound: %+v", v)
+	}
+	if got := PerRunPath(v.SpansOut); got != "traces/run-*.json" {
+		t.Errorf("PerRunPath(%q) = %q", v.SpansOut, got)
+	}
+	if v.EngineProfileSink() == nil {
+		t.Error("EngineProfileSink() = nil with -profile-engine set")
 	}
 	if !v.Resume {
 		t.Errorf("resume must default to true")

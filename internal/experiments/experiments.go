@@ -56,6 +56,18 @@ type Options struct {
 	// experiment (see sim.Config); the sink must be concurrency-safe.
 	MetricsEvery int
 	MetricsSink  obs.RunSink
+	// ProfileEngine/EngineSink enable the parallel cycle engine's telemetry
+	// on every run (see sim.Config); the sink must be concurrency-safe
+	// (obs.EngineProfile is), and cached runs contribute nothing to it.
+	ProfileEngine bool
+	EngineSink    obs.EngineSink
+	// ForensicsDepth/SpansPath/HeatmapPath apply the corresponding
+	// observability artifacts to every run (see sim.Config — the paths
+	// should contain a "*" so each run writes its own file; charsweep
+	// inserts one).
+	ForensicsDepth int
+	SpansPath      string
+	HeatmapPath    string
 	// FaultSeed/FaultLinkMTTF/FaultRepair/FaultEvents apply a fault
 	// schedule to every run of the experiment (see sim.Config) — the
 	// -fault-* flags. The faulty experiment sets its own per-point values
@@ -80,6 +92,11 @@ func (o Options) base() core.Config {
 	c.Shards = o.Shards
 	c.MetricsEvery = o.MetricsEvery
 	c.MetricsSink = o.MetricsSink
+	c.ProfileEngine = o.ProfileEngine
+	c.EngineSink = o.EngineSink
+	c.ForensicsDepth = o.ForensicsDepth
+	c.SpansPath = o.SpansPath
+	c.HeatmapPath = o.HeatmapPath
 	c.FaultSeed = o.FaultSeed
 	c.FaultLinkMTTF = o.FaultLinkMTTF
 	c.FaultRepair = o.FaultRepair

@@ -143,6 +143,11 @@ type Network struct {
 	// branch per mutation.
 	resLog *ResourceLog
 
+	// eng, if attached, accumulates engine telemetry (see telemetry.go);
+	// Step then runs profiled duplicates of the step drivers. nil costs
+	// one branch per cycle.
+	eng *EngineStats
+
 	// Counters (monotonic).
 	DeliveredCount int64
 	RecoveredCount int64
@@ -382,9 +387,14 @@ func (n *Network) Topology() topology.Network { return n.topo }
 // identical either way.
 func (n *Network) Step() {
 	n.now++
-	if n.pool != nil {
+	switch {
+	case n.eng != nil && n.pool != nil:
+		n.stepParallelProfiled()
+	case n.eng != nil:
+		n.stepSequentialProfiled()
+	case n.pool != nil:
 		n.stepParallel()
-	} else {
+	default:
 		n.stepSequential()
 	}
 	if n.p.CheckInvariants {

@@ -38,6 +38,7 @@ import (
 	"slices"
 	"strconv"
 	"sync"
+	"time"
 
 	"flexsim/internal/message"
 	"flexsim/internal/routing"
@@ -156,6 +157,12 @@ type worker struct {
 	candBuf []routing.Candidate
 	fbBuf   []routing.Candidate
 	chBuf   []topology.ChannelID
+
+	// phaseNs holds this cycle's measured kernel durations, one per
+	// launch; written by the worker goroutine inside the profiled stage
+	// kernels, read by the coordinator after the barrier (the pool's
+	// WaitGroup orders the accesses). Untouched when telemetry is off.
+	phaseNs [EnginePhases]int64
 
 	d deltas
 }
@@ -461,6 +468,137 @@ func (n *Network) stepParallel() {
 	for _, w := range n.workers {
 		w.flushCounters()
 	}
+}
+
+// --- Profiled step drivers ---------------------------------------------------
+//
+// Exact duplicates of stepSequential/stepParallel with time.Now stamps
+// around each launch and mailbox/effect counting between barriers. Kept
+// separate so the unprofiled drivers stay byte-identical: a run without
+// telemetry pays one nil check in Step and nothing else.
+
+// Profiled stage kernels: the unprofiled kernel bracketed by a clock. Two
+// time.Now calls per worker per launch (~50ns) against kernel times in the
+// microseconds; package-level so handing them to the pool allocates
+// nothing.
+
+func stageDrainInjectProfiled(w *worker) {
+	t0 := time.Now()
+	stageDrainInject(w)
+	w.phaseNs[0] = int64(time.Since(t0))
+}
+
+func stageAllocPlanProfiled(w *worker) {
+	t0 := time.Now()
+	stageAllocPlan(w)
+	w.phaseNs[1] = int64(time.Since(t0))
+}
+
+func stageArbEjectProfiled(w *worker) {
+	t0 := time.Now()
+	stageArbEject(w)
+	w.phaseNs[2] = int64(time.Since(t0))
+}
+
+func stageApplyReleaseProfiled(w *worker) {
+	t0 := time.Now()
+	stageApplyRelease(w)
+	w.phaseNs[3] = int64(time.Since(t0))
+}
+
+// stepSequentialProfiled is stepSequential with the same four phase groups
+// timed as shard 0. Barrier stall and mailbox traffic are structurally zero
+// in direct mode; the phase split still answers "where does a cycle go".
+func (n *Network) stepSequentialProfiled() {
+	es := n.eng
+	w := n.w0
+	t0 := time.Now()
+	w.drainRecovering(n.active)
+	w.startInjections()
+	es.recordDirect(0, int64(time.Since(t0)))
+	t0 = time.Now()
+	w.d.blocked = 0
+	w.allocate(n.active)
+	n.blocked = w.d.blocked
+	w.d.blocked = 0
+	w.planTransfers(n.active)
+	es.recordDirect(1, int64(time.Since(t0)))
+	t0 = time.Now()
+	w.arbitrateAndEject()
+	es.recordDirect(2, int64(time.Since(t0)))
+	t0 = time.Now()
+	w.applyAndRelease(n.active)
+	n.compactActive()
+	w.flushCounters()
+	es.recordDirect(3, int64(time.Since(t0)))
+	es.Cycles++
+}
+
+// fxLens sums the workers' pending message- and node-keyed effect buffers
+// (counted before the merges clear them).
+func (n *Network) fxLens() (msg, node int64) {
+	for _, w := range n.workers {
+		msg += int64(len(w.fxMsg))
+		node += int64(len(w.fxNode))
+	}
+	return
+}
+
+// stepParallelProfiled mirrors stepParallel launch for launch, folding each
+// barrier's worker durations into the attached EngineStats, tallying the
+// mailboxes while they are full, and charging coordinator merge/absorb work
+// to MergeNs.
+func (n *Network) stepParallelProfiled() {
+	es := n.eng
+	n.partition()
+
+	n.pool.runStage(stageDrainInjectProfiled)
+	es.recordLaunch(0, n.workers)
+	fm, fn := n.fxLens()
+	t0 := time.Now()
+	n.mergeMsgEffects()
+	n.absorbInjected()
+	n.mergeNodeEffects()
+	es.MergeNs += int64(time.Since(t0))
+	es.MsgEffects += fm
+	es.NodeEffects += fn
+
+	n.pool.runStage(stageAllocPlanProfiled)
+	es.recordLaunch(1, n.workers)
+	es.countReqMail(n.workers)
+	fm, _ = n.fxLens()
+	t0 = time.Now()
+	n.mergeMsgEffects()
+	es.MergeNs += int64(time.Since(t0))
+	es.MsgEffects += fm
+	n.blocked = 0
+	for _, w := range n.workers {
+		n.blocked += w.d.blocked
+		w.d.blocked = 0
+	}
+
+	n.pool.runStage(stageArbEjectProfiled)
+	es.recordLaunch(2, n.workers)
+	es.countGrantMail(n.workers)
+	_, fn = n.fxLens()
+	t0 = time.Now()
+	n.mergeNodeEffects()
+	es.MergeNs += int64(time.Since(t0))
+	es.NodeEffects += fn
+
+	n.pool.runStage(stageApplyReleaseProfiled)
+	es.recordLaunch(3, n.workers)
+	fm, _ = n.fxLens()
+	t0 = time.Now()
+	n.mergeMsgEffects()
+	es.MergeNs += int64(time.Since(t0))
+	es.MsgEffects += fm
+	n.compactActive()
+
+	for _, w := range n.workers {
+		w.flushCounters()
+	}
+	es.Cycles++
 }
 
 // partition assigns every active message to the shard owning its header

@@ -1,0 +1,233 @@
+package network
+
+// Engine telemetry: per-shard × per-phase wall-time accounting for the
+// parallel cycle engine, barrier-stall/imbalance measurement, cross-shard
+// mailbox traffic matrices and effect-buffer/merge cost counters.
+//
+// The stats attach to a Network via SetEngineStats; when attached, Step
+// dispatches to profiled duplicates of the step drivers (see shard.go) that
+// stamp time.Now around each of the four barrier-separated launches and
+// count mailbox/effect traffic between them. When detached (the default)
+// the drivers are byte-identical to the unprofiled engine — the disabled
+// hot path pays a single nil check per cycle and zero allocations.
+//
+// Determinism contract: every *count* in EngineStats (mailbox matrices,
+// effect totals, cycles) is exact and identical across runs of the same
+// configuration; the nanosecond fields are wall-clock measurements and are
+// therefore excluded from golden comparisons and the content-addressed
+// cache key (sim.Config.ProfileEngine is in runner's nonSemantic set).
+
+import "slices"
+
+// EnginePhases is the number of barrier-separated launches per cycle.
+const EnginePhases = 4
+
+// EnginePhaseNames names the launches, in execution order. Index matches
+// the phase dimension of EngineStats.PhaseNs.
+var EnginePhaseNames = [EnginePhases]string{
+	"drain+inject",
+	"alloc+plan",
+	"arb+eject",
+	"apply+release",
+}
+
+// EngineStats accumulates engine telemetry across Step calls. One instance
+// belongs to one Network (SetEngineStats sizes it to the resolved shard
+// count); it is read between cycles, never concurrently with Step.
+type EngineStats struct {
+	// Shards is the resolved worker count the matrices are sized for.
+	Shards int
+	// Cycles counts profiled Step calls.
+	Cycles int64
+
+	// PhaseNs[shard][phase] is the accumulated kernel wall time of that
+	// shard in that launch. In direct (1-shard) mode all time lands on
+	// shard 0.
+	PhaseNs [][EnginePhases]int64
+	// WallNs[phase] accumulates the slowest shard's time per launch — the
+	// barrier wall time the whole engine waits for.
+	WallNs [EnginePhases]int64
+	// StallNs[phase] accumulates slowest-minus-median shard time per
+	// launch: the imbalance cost a perfectly balanced partition would
+	// avoid. Zero in direct mode.
+	StallNs [EnginePhases]int64
+	// IdleNs[phase] accumulates Σ_workers (slowest − worker) per launch:
+	// total worker-time spent parked at the barrier. The idle fraction of
+	// a launch is IdleNs / (Shards × WallNs).
+	IdleNs [EnginePhases]int64
+
+	// ReqTransfers[src*Shards+dst] counts transfer requests planned by
+	// shard src for a channel owned by shard dst (the reqOut mailboxes);
+	// GrantTransfers counts arbitration grants routed from the channel
+	// owner src to the message owner dst (the grantOut mailboxes). Both
+	// are exact and deterministic. The Req diagonal is always zero (local
+	// requests go straight into the request tables); the Grant diagonal
+	// counts same-shard grants, which still ride the mailbox.
+	ReqTransfers   []int64
+	GrantTransfers []int64
+
+	// MsgEffects / NodeEffects count buffered externally visible effects
+	// merged by the coordinator (zero unless a tracer, resource log or
+	// delivery hook is attached); MergeNs is the coordinator wall time
+	// spent merging them and absorbing injections.
+	MsgEffects  int64
+	NodeEffects int64
+	MergeNs     int64
+
+	durs []int64 // per-launch scratch: worker durations, reused
+}
+
+// SizeTo sizes the per-shard dimensions for the given worker count,
+// preserving accumulated totals if the count is unchanged.
+func (es *EngineStats) SizeTo(shards int) {
+	if shards < 1 {
+		shards = 1
+	}
+	if es.Shards == shards && es.PhaseNs != nil {
+		return
+	}
+	es.Shards = shards
+	es.PhaseNs = make([][EnginePhases]int64, shards)
+	es.ReqTransfers = make([]int64, shards*shards)
+	es.GrantTransfers = make([]int64, shards*shards)
+	es.durs = make([]int64, 0, shards)
+}
+
+// Req returns the accumulated cross-shard transfer requests from shard src
+// to shard dst.
+func (es *EngineStats) Req(src, dst int) int64 { return es.ReqTransfers[src*es.Shards+dst] }
+
+// Grant returns the accumulated cross-shard grants from shard src to dst.
+func (es *EngineStats) Grant(src, dst int) int64 { return es.GrantTransfers[src*es.Shards+dst] }
+
+// BusyNs returns the total kernel time across all shards and phases.
+func (es *EngineStats) BusyNs() int64 {
+	var t int64
+	for i := range es.PhaseNs {
+		for _, ns := range es.PhaseNs[i] {
+			t += ns
+		}
+	}
+	return t
+}
+
+// ShardBusyNs returns shard s's total kernel time across phases.
+func (es *EngineStats) ShardBusyNs(s int) int64 {
+	var t int64
+	for _, ns := range es.PhaseNs[s] {
+		t += ns
+	}
+	return t
+}
+
+// TotalWallNs returns the accumulated barrier wall time across launches.
+func (es *EngineStats) TotalWallNs() int64 {
+	var t int64
+	for _, ns := range es.WallNs {
+		t += ns
+	}
+	return t
+}
+
+// TotalStallNs returns the accumulated slowest-minus-median stall across
+// launches.
+func (es *EngineStats) TotalStallNs() int64 {
+	var t int64
+	for _, ns := range es.StallNs {
+		t += ns
+	}
+	return t
+}
+
+// TotalIdleNs returns the accumulated worker idle time across launches.
+func (es *EngineStats) TotalIdleNs() int64 {
+	var t int64
+	for _, ns := range es.IdleNs {
+		t += ns
+	}
+	return t
+}
+
+// CrossShardTransfers returns the total shard-crossing mailbox traffic
+// (requests plus grants over all src != dst pairs).
+func (es *EngineStats) CrossShardTransfers() int64 {
+	var t int64
+	s := es.Shards
+	for i, c := range es.ReqTransfers {
+		if i/s != i%s {
+			t += c
+		}
+	}
+	for i, c := range es.GrantTransfers {
+		if i/s != i%s {
+			t += c
+		}
+	}
+	return t
+}
+
+// recordLaunch folds the workers' measured durations for one launch:
+// per-shard accumulation, barrier wall (slowest), stall (slowest − median)
+// and idle (Σ slowest − worker). Coordinator goroutine only, after the
+// barrier.
+func (es *EngineStats) recordLaunch(phase int, workers []*worker) {
+	durs := es.durs[:0]
+	var max int64
+	for _, w := range workers {
+		d := w.phaseNs[phase]
+		durs = append(durs, d)
+		es.PhaseNs[w.id][phase] += d
+		if d > max {
+			max = d
+		}
+	}
+	es.durs = durs
+	es.WallNs[phase] += max
+	for _, d := range durs {
+		es.IdleNs[phase] += max - d
+	}
+	slices.Sort(durs)
+	es.StallNs[phase] += max - durs[len(durs)/2]
+}
+
+// recordDirect folds one sequential-engine phase group: all time on shard
+// 0, barrier wall equal to the kernel time, no stall or idle.
+func (es *EngineStats) recordDirect(phase int, ns int64) {
+	es.PhaseNs[0][phase] += ns
+	es.WallNs[phase] += ns
+}
+
+// countReqMail tallies the reqOut mailboxes planned by the alloc+plan
+// launch, before arbitrateAndEject drains them.
+func (es *EngineStats) countReqMail(workers []*worker) {
+	for _, w := range workers {
+		row := es.ReqTransfers[int(w.id)*es.Shards:]
+		for dst, out := range w.reqOut {
+			row[dst] += int64(len(out))
+		}
+	}
+}
+
+// countGrantMail tallies the grantOut mailboxes produced by arbitration,
+// before applyAndRelease drains them.
+func (es *EngineStats) countGrantMail(workers []*worker) {
+	for _, w := range workers {
+		row := es.GrantTransfers[int(w.id)*es.Shards:]
+		for dst, out := range w.grantOut {
+			row[dst] += int64(len(out))
+		}
+	}
+}
+
+// SetEngineStats attaches (or with nil detaches) engine telemetry. The
+// stats are sized to the network's resolved shard count; attaching switches
+// Step onto the profiled drivers until detached.
+func (n *Network) SetEngineStats(es *EngineStats) {
+	if es != nil {
+		es.SizeTo(n.shards)
+	}
+	n.eng = es
+}
+
+// EngineStatsAttached returns the attached telemetry, or nil.
+func (n *Network) EngineStatsAttached() *EngineStats { return n.eng }

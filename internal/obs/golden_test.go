@@ -140,6 +140,7 @@ func TestPrometheusExpositionGolden(t *testing.T) {
 		Flits: 5120, Delivered: 9876, Recovered: 12, Generated: 9932,
 		Deadlocks: 7, Invocations: 246, Gated: 198,
 		FaultsActive: 3, MsgsKilled: 5,
+		EngineBusyNs: 4200000, EngineStallNs: 310000, EngineCrossShard: 777,
 	})
 	var b strings.Builder
 	if err := live.WritePrometheus(&b); err != nil {
@@ -148,6 +149,15 @@ func TestPrometheusExpositionGolden(t *testing.T) {
 	out := b.String()
 	if c := strings.Count(out, "# HELP "); c == 0 || c != strings.Count(out, "# TYPE ") {
 		t.Fatalf("unbalanced HELP/TYPE lines:\n%s", out)
+	}
+	for _, want := range []string{
+		"flexsim_engine_busy_ns_total 4200000",
+		"flexsim_engine_stall_ns_total 310000",
+		"flexsim_engine_cross_shard_total 777",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing engine metric %q", want)
+		}
 	}
 	checkGolden(t, "prometheus.golden.txt", out)
 }

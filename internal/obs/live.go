@@ -24,6 +24,9 @@ type Live struct {
 	gated       atomic.Int64
 	faults      atomic.Int64
 	killed      atomic.Int64
+	engBusy     atomic.Int64
+	engStall    atomic.Int64
+	engXShard   atomic.Int64
 }
 
 // Store publishes a sample.
@@ -41,24 +44,30 @@ func (l *Live) Store(g Gauges) {
 	l.gated.Store(g.Gated)
 	l.faults.Store(int64(g.FaultsActive))
 	l.killed.Store(g.MsgsKilled)
+	l.engBusy.Store(g.EngineBusyNs)
+	l.engStall.Store(g.EngineStallNs)
+	l.engXShard.Store(g.EngineCrossShard)
 }
 
 // Snapshot returns the most recently published sample.
 func (l *Live) Snapshot() Gauges {
 	return Gauges{
-		Cycle:        l.cycle.Load(),
-		Active:       int(l.active.Load()),
-		Blocked:      int(l.blocked.Load()),
-		Queued:       int(l.queued.Load()),
-		Flits:        l.flits.Load(),
-		Delivered:    l.delivered.Load(),
-		Recovered:    l.recovered.Load(),
-		Generated:    l.generated.Load(),
-		Deadlocks:    l.deadlocks.Load(),
-		Invocations:  l.invocations.Load(),
-		Gated:        l.gated.Load(),
-		FaultsActive: int(l.faults.Load()),
-		MsgsKilled:   l.killed.Load(),
+		Cycle:            l.cycle.Load(),
+		Active:           int(l.active.Load()),
+		Blocked:          int(l.blocked.Load()),
+		Queued:           int(l.queued.Load()),
+		Flits:            l.flits.Load(),
+		Delivered:        l.delivered.Load(),
+		Recovered:        l.recovered.Load(),
+		Generated:        l.generated.Load(),
+		Deadlocks:        l.deadlocks.Load(),
+		Invocations:      l.invocations.Load(),
+		Gated:            l.gated.Load(),
+		FaultsActive:     int(l.faults.Load()),
+		MsgsKilled:       l.killed.Load(),
+		EngineBusyNs:     l.engBusy.Load(),
+		EngineStallNs:    l.engStall.Load(),
+		EngineCrossShard: l.engXShard.Load(),
 	}
 }
 
@@ -82,6 +91,9 @@ func (l *Live) WritePrometheus(w io.Writer) error {
 		{"flexsim_detector_gated_total", "Detector passes skipped by change-gating.", "counter", g.Gated},
 		{"flexsim_faults_active", "Currently failed resources (links, VCs, nodes).", "gauge", int64(g.FaultsActive)},
 		{"flexsim_fault_killed_messages_total", "Messages removed by fault injection.", "counter", g.MsgsKilled},
+		{"flexsim_engine_busy_ns_total", "Engine kernel wall time across shards and phases (requires engine profiling).", "counter", g.EngineBusyNs},
+		{"flexsim_engine_stall_ns_total", "Barrier stall (slowest minus median shard) across launches.", "counter", g.EngineStallNs},
+		{"flexsim_engine_cross_shard_total", "Cross-shard mailbox transfers (requests plus grants).", "counter", g.EngineCrossShard},
 	}
 	for _, m := range metrics {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",

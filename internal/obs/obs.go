@@ -54,4 +54,13 @@ type Gauges struct {
 	// messages fault injection removed from the network.
 	FaultsActive int
 	MsgsKilled   int64
+	// Engine telemetry (zero unless engine profiling is enabled — see
+	// sim.Config.ProfileEngine). EngineBusyNs is cumulative kernel wall
+	// time across shards and phases and EngineStallNs the cumulative
+	// slowest-minus-median barrier stall; both are wall-clock measurements
+	// and therefore nondeterministic. EngineCrossShard is the cumulative
+	// cross-shard mailbox transfer count — exact and deterministic.
+	EngineBusyNs     int64
+	EngineStallNs    int64
+	EngineCrossShard int64
 }

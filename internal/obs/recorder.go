@@ -29,6 +29,9 @@ type Recorder struct {
 	gated       []int64
 	faults      []int32
 	killed      []int64
+	engBusy     []int64
+	engStall    []int64
+	engXShard   []int64
 }
 
 // DefaultEvery is the sampling cadence used when a caller enables metrics
@@ -59,6 +62,9 @@ func (r *Recorder) Record(g Gauges) {
 	r.gated = append(r.gated, g.Gated)
 	r.faults = append(r.faults, int32(g.FaultsActive))
 	r.killed = append(r.killed, g.MsgsKilled)
+	r.engBusy = append(r.engBusy, g.EngineBusyNs)
+	r.engStall = append(r.engStall, g.EngineStallNs)
+	r.engXShard = append(r.engXShard, g.EngineCrossShard)
 }
 
 // Len returns the number of recorded samples.
@@ -67,19 +73,22 @@ func (r *Recorder) Len() int { return len(r.cycle) }
 // At returns sample i.
 func (r *Recorder) At(i int) Gauges {
 	return Gauges{
-		Cycle:        r.cycle[i],
-		Active:       int(r.active[i]),
-		Blocked:      int(r.blocked[i]),
-		Queued:       int(r.queued[i]),
-		Flits:        r.flits[i],
-		Delivered:    r.delivered[i],
-		Recovered:    r.recovered[i],
-		Generated:    r.generated[i],
-		Deadlocks:    r.deadlocks[i],
-		Invocations:  r.invocations[i],
-		Gated:        r.gated[i],
-		FaultsActive: int(r.faults[i]),
-		MsgsKilled:   r.killed[i],
+		Cycle:            r.cycle[i],
+		Active:           int(r.active[i]),
+		Blocked:          int(r.blocked[i]),
+		Queued:           int(r.queued[i]),
+		Flits:            r.flits[i],
+		Delivered:        r.delivered[i],
+		Recovered:        r.recovered[i],
+		Generated:        r.generated[i],
+		Deadlocks:        r.deadlocks[i],
+		Invocations:      r.invocations[i],
+		Gated:            r.gated[i],
+		FaultsActive:     int(r.faults[i]),
+		MsgsKilled:       r.killed[i],
+		EngineBusyNs:     r.engBusy[i],
+		EngineStallNs:    r.engStall[i],
+		EngineCrossShard: r.engXShard[i],
 	}
 }
 
@@ -104,6 +113,7 @@ var metricsColumns = []string{
 	"flits", "delivered", "recovered", "generated",
 	"deadlocks", "invocations", "gated",
 	"faults_active", "msgs_killed_by_fault",
+	"eng_busy_ns", "eng_stall_ns", "eng_xshard",
 }
 
 // CSVSink writes every flushed run as CSV rows under a single header.
@@ -132,12 +142,13 @@ func (s *CSVSink) Run(meta RunMeta, rec *Recorder) {
 	}
 	for i := 0; i < rec.Len(); i++ {
 		g := rec.At(i)
-		fmt.Fprintf(&b, "%s,%d,%g,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(&b, "%s,%d,%g,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			csvEscape(meta.Label), meta.Seed, meta.Load, g.Cycle,
 			g.Active, g.Blocked, g.Queued, g.Flits,
 			g.Delivered, g.Recovered, g.Generated,
 			g.Deadlocks, g.Invocations, g.Gated,
-			g.FaultsActive, g.MsgsKilled)
+			g.FaultsActive, g.MsgsKilled,
+			g.EngineBusyNs, g.EngineStallNs, g.EngineCrossShard)
 	}
 	_, s.err = io.WriteString(s.w, b.String())
 }
@@ -177,12 +188,13 @@ func (s *JSONLSink) Run(meta RunMeta, rec *Recorder) {
 	var b strings.Builder
 	for i := 0; i < rec.Len(); i++ {
 		g := rec.At(i)
-		fmt.Fprintf(&b, `{"label":%q,"seed":%d,"load":%g,"cycle":%d,"active":%d,"blocked":%d,"queued":%d,"flits":%d,"delivered":%d,"recovered":%d,"generated":%d,"deadlocks":%d,"invocations":%d,"gated":%d,"faults_active":%d,"msgs_killed_by_fault":%d}`,
+		fmt.Fprintf(&b, `{"label":%q,"seed":%d,"load":%g,"cycle":%d,"active":%d,"blocked":%d,"queued":%d,"flits":%d,"delivered":%d,"recovered":%d,"generated":%d,"deadlocks":%d,"invocations":%d,"gated":%d,"faults_active":%d,"msgs_killed_by_fault":%d,"eng_busy_ns":%d,"eng_stall_ns":%d,"eng_xshard":%d}`,
 			meta.Label, meta.Seed, meta.Load, g.Cycle,
 			g.Active, g.Blocked, g.Queued, g.Flits,
 			g.Delivered, g.Recovered, g.Generated,
 			g.Deadlocks, g.Invocations, g.Gated,
-			g.FaultsActive, g.MsgsKilled)
+			g.FaultsActive, g.MsgsKilled,
+			g.EngineBusyNs, g.EngineStallNs, g.EngineCrossShard)
 		b.WriteByte('\n')
 	}
 	_, s.err = io.WriteString(s.w, b.String())

@@ -37,6 +37,9 @@ var nonSemantic = map[string]bool{
 	"IncidentDOT":    true,
 	"ForensicsDepth": true,
 	"Shards":         true,
+	"ProfileEngine":  true,
+	"SpansPath":      true,
+	"HeatmapPath":    true,
 }
 
 // CanonicalConfig returns the canonical JSON encoding of a configuration:

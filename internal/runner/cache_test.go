@@ -87,6 +87,10 @@ func TestKeyIgnoresObservability(t *testing.T) {
 	c.ForensicsDepth = 1 << 16
 	c.Spans = trace.NewPerfetto(&bytes.Buffer{})
 	c.Heatmap = &obs.Heatmap{}
+	c.ProfileEngine = true
+	c.EngineSink = &obs.EngineProfile{}
+	c.SpansPath = "trace-*.json"
+	c.HeatmapPath = "heat-*.csv"
 	if got := Key(c); got != want {
 		t.Errorf("observability fields changed the key: got %s, want %s", got, want)
 	}

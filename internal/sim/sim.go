@@ -15,6 +15,8 @@ package sim
 import (
 	"context"
 	"fmt"
+	"os"
+	"strings"
 
 	"flexsim/internal/detect"
 	"flexsim/internal/fault"
@@ -159,6 +161,28 @@ type Config struct {
 	// Pointer-typed, so it is excluded from the cache key.
 	Heatmap *obs.Heatmap
 
+	// ProfileEngine enables the parallel cycle engine's telemetry
+	// (network.EngineStats): per-shard per-phase kernel timings, barrier
+	// stall/idle accounting, the cross-shard mailbox traffic matrix and
+	// effect-buffer counters. The profiled step path is selected once at
+	// attach time, so disabled runs execute the unmodified engine.
+	// Observability-only: excluded from the cache key (nonSemantic).
+	ProfileEngine bool
+	// EngineSink, if non-nil, receives the run's accumulated engine
+	// telemetry at Finish and implies ProfileEngine. Interface-typed, so it
+	// is excluded from the cache key by kind.
+	EngineSink obs.EngineSink
+	// SpansPath, when nonempty, has the run open (and close) its own
+	// Perfetto writer on this file — the file-owning form of Spans for
+	// batch callers that cannot share one writer across runs. A "*" in the
+	// path expands to "<label>-s<seed>-l<load>" so sweeps write one file
+	// per run. Observability-only: excluded from the cache key.
+	SpansPath string
+	// HeatmapPath is the file-owning form of Heatmap: the run allocates a
+	// heatmap and writes its CSV there when finished. "*" expands as in
+	// SpansPath. Observability-only: excluded from the cache key.
+	HeatmapPath string
+
 	// Label for result tables; defaults to "<routing><vcs>".
 	Label string
 }
@@ -216,12 +240,18 @@ type Runner struct {
 	res        stats.Result
 	rec        *obs.Recorder
 	faultEvery int64 // fault-tick cadence (DetectEvery); 0 when no schedule
-	measuring  bool
-	sumAct     int64
-	sumBlk     int64
-	sumQue     int64
-	sumFlt     int64
-	samples    int64
+	// engPrev snapshots the engine telemetry at the previous metrics sample
+	// so Perfetto engine intervals render per-interval deltas.
+	engPrev *engineSnapshot
+	// artifacts closes run-owned observability outputs (SpansPath /
+	// HeatmapPath files); CloseArtifacts drains it.
+	artifacts []func() error
+	measuring bool
+	sumAct    int64
+	sumBlk    int64
+	sumQue    int64
+	sumFlt    int64
+	samples   int64
 }
 
 // NewRunner validates the configuration and builds the simulation.
@@ -249,6 +279,38 @@ func NewRunner(c Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	var artifacts []func() error
+	if c.SpansPath != "" && c.Spans == nil {
+		f, err := os.Create(expandRunPath(c.SpansPath, c))
+		if err != nil {
+			return nil, fmt.Errorf("sim: spans: %w", err)
+		}
+		pw := trace.NewPerfetto(f)
+		c.Spans = pw
+		artifacts = append(artifacts, func() error {
+			werr := pw.Close()
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			return werr
+		})
+	}
+	if c.HeatmapPath != "" && c.Heatmap == nil {
+		h := &obs.Heatmap{}
+		c.Heatmap = h
+		path := expandRunPath(c.HeatmapPath, c)
+		artifacts = append(artifacts, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("sim: heatmap: %w", err)
+			}
+			werr := h.WriteCSV(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			return werr
+		})
+	}
 	tracer := c.Tracer
 	if c.Spans != nil {
 		// Join the Perfetto writer into the fan-out without disturbing the
@@ -271,6 +333,9 @@ func NewRunner(c Config) (*Runner, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if c.ProfileEngine || c.EngineSink != nil {
+		net.SetEngineStats(&network.EngineStats{})
 	}
 	pat, err := traffic.ByName(c.Traffic, topo, c.HotspotFrac)
 	if err != nil {
@@ -371,9 +436,13 @@ func NewRunner(c Config) (*Runner, error) {
 			c.Incidents.Formation = r.Forensics
 		}
 	}
-	if c.MetricsEvery > 0 || c.MetricsLive != nil || c.Heatmap != nil {
+	if c.MetricsEvery > 0 || c.MetricsLive != nil || c.Heatmap != nil ||
+		(c.Spans != nil && net.EngineStatsAttached() != nil) {
+		// The last clause forces a sampling cadence so engine profiling can
+		// emit Perfetto interval slices even without interval metrics.
 		r.rec = obs.NewRecorder(c.MetricsEvery)
 	}
+	r.artifacts = artifacts
 	net.OnDeliver = r.onDeliver
 	r.res = stats.Result{
 		Label:      c.label(),
@@ -478,6 +547,17 @@ func (r *Runner) sampleMetrics() {
 		FaultsActive: r.Net.FaultsActive(),
 		MsgsKilled:   r.Net.KilledCount,
 	}
+	if es := r.Net.EngineStatsAttached(); es != nil {
+		// Cumulative counters; the ns values are wall-clock and therefore
+		// nondeterministic — they are recorded and exposed but never fold
+		// into goldens or the cache key. The transfer counts are exact.
+		g.EngineBusyNs = es.BusyNs()
+		g.EngineStallNs = es.TotalStallNs()
+		g.EngineCrossShard = es.CrossShardTransfers()
+		if r.Cfg.Spans != nil {
+			r.emitEngineSpans(es)
+		}
+	}
 	r.rec.Record(g)
 	if r.Cfg.MetricsLive != nil {
 		r.Cfg.MetricsLive.Store(g)
@@ -485,6 +565,45 @@ func (r *Runner) sampleMetrics() {
 	if r.Cfg.Heatmap != nil {
 		r.Cfg.Heatmap.Sample(r.Net)
 	}
+}
+
+// engineSnapshot is the per-shard telemetry state at the previous metrics
+// sample; emitEngineSpans diffs against it to render interval slices.
+type engineSnapshot struct {
+	cycle int64
+	phase [][network.EnginePhases]int64
+	wall  [network.EnginePhases]int64
+}
+
+// emitEngineSpans renders each worker's share of the elapsed metrics
+// interval on the Perfetto engine track: per-phase busy slices plus a
+// barrier-wait slice covering the gap to the interval's slowest worker.
+func (r *Runner) emitEngineSpans(es *network.EngineStats) {
+	now := r.Net.Now()
+	if r.engPrev == nil {
+		r.engPrev = &engineSnapshot{phase: make([][network.EnginePhases]int64, len(es.PhaseNs))}
+	}
+	prev := r.engPrev
+	var wallDelta int64
+	for ph := 0; ph < network.EnginePhases; ph++ {
+		wallDelta += es.WallNs[ph] - prev.wall[ph]
+		prev.wall[ph] = es.WallNs[ph]
+	}
+	for s := range es.PhaseNs {
+		var phases [network.EnginePhases]int64
+		var busy int64
+		for ph := 0; ph < network.EnginePhases; ph++ {
+			phases[ph] = es.PhaseNs[s][ph] - prev.phase[s][ph]
+			busy += phases[ph]
+		}
+		wait := wallDelta - busy
+		if wait < 0 {
+			wait = 0
+		}
+		r.Cfg.Spans.EngineInterval(s, prev.cycle, now, network.EnginePhaseNames[:], phases[:], wait)
+		prev.phase[s] = es.PhaseNs[s]
+	}
+	prev.cycle = now
 }
 
 // Run executes warmup then measurement and returns the result. Program-
@@ -616,7 +735,37 @@ func (r *Runner) Finish() *stats.Result {
 	if r.rec != nil && r.Cfg.MetricsSink != nil {
 		r.Cfg.MetricsSink.Run(obs.RunMeta{Label: res.Label, Seed: r.Cfg.Seed, Load: res.Load}, r.rec)
 	}
+	if r.Cfg.EngineSink != nil {
+		r.Cfg.EngineSink.EngineRun(obs.RunMeta{Label: res.Label, Seed: r.Cfg.Seed, Load: res.Load},
+			r.Net.EngineStatsAttached())
+	}
 	return res
+}
+
+// CloseArtifacts closes the run-owned observability outputs (the SpansPath
+// Perfetto file and the HeatmapPath CSV), returning the first error. Run
+// and RunContext call it; only callers that step a Runner manually with
+// those paths configured need to call it themselves. Idempotent.
+func (r *Runner) CloseArtifacts() error {
+	var first error
+	for _, close := range r.artifacts {
+		if err := close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	r.artifacts = nil
+	return first
+}
+
+// expandRunPath substitutes a run-identifying stem for "*" in a per-run
+// artifact path so sweep runs writing the same template do not clobber each
+// other; labels are sanitized for path separators.
+func expandRunPath(path string, c Config) string {
+	if !strings.Contains(path, "*") {
+		return path
+	}
+	stem := fmt.Sprintf("%s-s%d-l%g", strings.ReplaceAll(c.label(), "/", "-"), c.Seed, c.Load)
+	return strings.ReplaceAll(path, "*", stem)
 }
 
 // Run builds and executes one simulation.
@@ -625,11 +774,17 @@ func Run(c Config) (*stats.Result, error) {
 }
 
 // RunContext builds and executes one simulation under ctx (see
-// Runner.RunContext for the cancellation semantics).
+// Runner.RunContext for the cancellation semantics). A failure to write a
+// requested run-owned artifact (SpansPath/HeatmapPath) fails the run: the
+// caller asked for the file.
 func RunContext(ctx context.Context, c Config) (*stats.Result, error) {
 	r, err := NewRunner(c)
 	if err != nil {
 		return nil, err
 	}
-	return r.RunContext(ctx), nil
+	res := r.RunContext(ctx)
+	if err := r.CloseArtifacts(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }

@@ -10,6 +10,7 @@ package trace
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 )
 
@@ -17,6 +18,7 @@ import (
 const (
 	perfettoMessagesPID = 1
 	perfettoDetectorPID = 2
+	perfettoEnginePID   = 3
 )
 
 // perfettoEvent is the wire form of one trace-event object. Dur is a
@@ -45,6 +47,12 @@ type PerfettoWriter struct {
 	n      int
 	tr     spanTracker
 	closed bool
+
+	// engTids tracks which engine-worker threads (pid 3) have emitted
+	// their thread metadata; the engine process metadata rides along with
+	// the first of them. Lazily allocated: runs without engine profiling
+	// never touch it.
+	engTids map[int]bool
 }
 
 // NewPerfetto returns a writer streaming trace-event JSON to w. The caller
@@ -145,6 +153,72 @@ func (p *PerfettoWriter) DetectorPass(cycle, buildNs, analyzeNs int64, deadlocks
 		Ts: cycle, Dur: &dur,
 		Pid: perfettoDetectorPID, Tid: 0, Args: args,
 	})
+}
+
+// EngineInterval renders one engine worker's share of a metrics interval
+// as phase slices on the engine track (pid 3, one thread per worker):
+// the interval [fromCycle, toCycle) is subdivided proportionally to the
+// measured per-phase nanoseconds, with the worker's barrier wait rendered
+// as a closing "barrier-wait" slice. Slices on a thread tile the interval
+// without overlap, so they nest cleanly next to the message (pid 1) and
+// detector (pid 2) tracks. Each slice's args carry the actual measured
+// nanoseconds; phaseNames and phaseNs must have equal length.
+func (p *PerfettoWriter) EngineInterval(shard int, fromCycle, toCycle int64, phaseNames []string, phaseNs []int64, waitNs int64) {
+	if p.closed || toCycle <= fromCycle {
+		return
+	}
+	var total int64
+	for _, ns := range phaseNs {
+		total += ns
+	}
+	if waitNs > 0 {
+		total += waitNs
+	}
+	if total <= 0 {
+		return
+	}
+	if toCycle > p.tr.last {
+		p.tr.last = toCycle
+	}
+	p.engineThreadMeta(shard)
+	span := toCycle - fromCycle
+	var cum int64
+	pos := fromCycle
+	emit := func(name string, ns int64) {
+		if ns <= 0 {
+			return
+		}
+		cum += ns
+		end := fromCycle + cum*span/total
+		dur := end - pos
+		p.write(perfettoEvent{
+			Name: name, Cat: "engine", Ph: "X",
+			Ts: pos, Dur: &dur,
+			Pid: perfettoEnginePID, Tid: int64(shard),
+			Args: map[string]any{"ns": ns},
+		})
+		pos = end
+	}
+	for i, name := range phaseNames {
+		emit(name, phaseNs[i])
+	}
+	emit("barrier-wait", waitNs)
+}
+
+// engineThreadMeta emits the engine process metadata (once) and the worker
+// thread metadata (once per shard) ahead of the shard's first slice.
+func (p *PerfettoWriter) engineThreadMeta(shard int) {
+	if p.engTids[shard] {
+		return
+	}
+	if p.engTids == nil {
+		p.engTids = make(map[int]bool)
+		p.write(perfettoEvent{Name: "process_name", Ph: "M", Pid: perfettoEnginePID,
+			Args: map[string]any{"name": "engine"}})
+	}
+	p.engTids[shard] = true
+	p.write(perfettoEvent{Name: "thread_name", Ph: "M", Pid: perfettoEnginePID, Tid: int64(shard),
+		Args: map[string]any{"name": fmt.Sprintf("worker %d", shard)}})
 }
 
 // Close force-closes spans still open at the last traced cycle, terminates

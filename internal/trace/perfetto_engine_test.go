@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// engineEvents filters a decoded trace down to pid-3 complete slices.
+func engineEvents(events []map[string]any) []map[string]any {
+	var out []map[string]any
+	for _, e := range events {
+		if e["pid"].(float64) == perfettoEnginePID && e["ph"] == "X" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestPerfettoEngineLane: engine intervals render as pid-3 slices that tile
+// their [from, to) window per worker thread — ordered, non-overlapping, and
+// contained — while message (pid 1) and detector (pid 2) tracks coexist in
+// the same valid JSON array.
+func TestPerfettoEngineLane(t *testing.T) {
+	var b strings.Builder
+	p := NewPerfetto(&b)
+	// Populate the existing lanes so nesting against pid 1/2 is exercised.
+	p.Trace(ev(0, Injected, 1, 0))
+	p.Trace(ev(80, Delivered, 1, 5))
+	p.DetectorPass(50, 1200, 300, 0, false)
+
+	phases := []string{"drain+inject", "alloc+plan", "arb+eject", "apply+release"}
+	// Two workers over the interval [0, 100): worker 0 busy with skewed
+	// phases, worker 1 mostly waiting at the barrier.
+	p.EngineInterval(0, 0, 100, phases, []int64{4000, 1000, 2000, 1000}, 0)
+	p.EngineInterval(1, 0, 100, phases, []int64{1000, 1000, 1000, 1000}, 4000)
+	// Second interval for worker 0, one phase zero (skipped).
+	p.EngineInterval(0, 100, 200, phases, []int64{3000, 0, 2000, 1000}, 2000)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events := decodePerfetto(t, b.String())
+
+	// Engine process/thread metadata must be present exactly once per track.
+	var engProc, engThreads int
+	for _, e := range events {
+		if e["pid"].(float64) != perfettoEnginePID || e["ph"] != "M" {
+			continue
+		}
+		switch e["name"] {
+		case "process_name":
+			engProc++
+			if e["args"].(map[string]any)["name"] != "engine" {
+				t.Errorf("engine process named %v", e["args"])
+			}
+		case "thread_name":
+			engThreads++
+		}
+	}
+	if engProc != 1 || engThreads != 2 {
+		t.Fatalf("engine metadata: %d process, %d threads (want 1/2)", engProc, engThreads)
+	}
+
+	// Per-thread slices must be ordered, non-overlapping, within-interval.
+	slices := engineEvents(events)
+	if len(slices) == 0 {
+		t.Fatal("no engine slices emitted")
+	}
+	end := map[int64]float64{} // tid -> end of previous slice
+	for _, e := range slices {
+		tid := int64(e["tid"].(float64))
+		ts, dur := e["ts"].(float64), e["dur"].(float64)
+		if ts < end[tid] {
+			t.Errorf("tid %d slice %q at ts=%v overlaps previous ending %v", tid, e["name"], ts, end[tid])
+		}
+		if dur < 0 {
+			t.Errorf("negative dur on %v", e)
+		}
+		if e["cat"] != "engine" {
+			t.Errorf("engine slice with cat %v", e["cat"])
+		}
+		if _, ok := e["args"].(map[string]any)["ns"]; !ok {
+			t.Errorf("engine slice lacks measured ns: %v", e)
+		}
+		end[tid] = ts + dur
+	}
+	// Each worker's slices tile its interval exactly: cumulative scaling
+	// makes the final slice land on the interval end.
+	if end[0] != 200 || end[1] != 100 {
+		t.Errorf("worker tracks end at %v / %v, want 200 / 100", end[0], end[1])
+	}
+
+	// Worker 0, interval 1: 4000/8000 ns of drain+inject over 100 cycles
+	// must render as exactly half the window.
+	for _, e := range slices {
+		if int64(e["tid"].(float64)) == 0 && e["ts"].(float64) == 0 && e["name"] == "drain+inject" {
+			if e["dur"].(float64) != 50 {
+				t.Errorf("drain+inject dur = %v, want 50 (4000 of 8000 ns over 100 cycles)", e["dur"])
+			}
+		}
+	}
+
+	// Barrier wait renders as its own slice where nonzero.
+	var waits int
+	for _, e := range slices {
+		if e["name"] == "barrier-wait" {
+			waits++
+		}
+	}
+	if waits != 2 {
+		t.Errorf("barrier-wait slices = %d, want 2", waits)
+	}
+
+	// The zero-ns phase in worker 0's second interval is skipped.
+	for _, e := range slices {
+		if int64(e["tid"].(float64)) == 0 && e["ts"].(float64) >= 100 && e["name"] == "alloc+plan" {
+			t.Errorf("zero-ns phase emitted: %v", e)
+		}
+	}
+
+	// All three process families coexist in one array.
+	pids := map[float64]bool{}
+	for _, e := range events {
+		pids[e["pid"].(float64)] = true
+	}
+	for _, pid := range []float64{perfettoMessagesPID, perfettoDetectorPID, perfettoEnginePID} {
+		if !pids[pid] {
+			t.Errorf("pid %v missing from trace", pid)
+		}
+	}
+}
+
+// TestPerfettoEngineNoWork: zero-total intervals and inverted windows are
+// silently dropped; a trace with only dropped intervals still closes valid.
+func TestPerfettoEngineNoWork(t *testing.T) {
+	var b strings.Builder
+	p := NewPerfetto(&b)
+	phases := []string{"a", "b"}
+	p.EngineInterval(0, 0, 100, phases, []int64{0, 0}, 0) // no work
+	p.EngineInterval(0, 100, 100, phases, []int64{5}, 0)  // empty window
+	p.EngineInterval(0, 100, 50, phases, []int64{5}, 0)   // inverted window
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events := decodePerfetto(t, b.String())
+	if got := engineEvents(events); len(got) != 0 {
+		t.Fatalf("dropped intervals still emitted slices: %v", got)
+	}
+}
+
+// TestPerfettoEngineExtendsTimeline: engine intervals advance the last-seen
+// cycle so open message spans close at the engine interval's end, keeping
+// the lanes mutually consistent.
+func TestPerfettoEngineExtendsTimeline(t *testing.T) {
+	var b strings.Builder
+	p := NewPerfetto(&b)
+	p.Trace(ev(0, Injected, 7, 0))
+	p.Trace(ev(10, Blocked, 7, 1))
+	p.EngineInterval(0, 0, 500, []string{"work"}, []int64{100}, 0)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range decodePerfetto(t, b.String()) {
+		if e["name"] == "blocked" {
+			if end := e["ts"].(float64) + e["dur"].(float64); end != 500 {
+				t.Errorf("open span closed at %v, want 500 (engine interval end)", end)
+			}
+			return
+		}
+	}
+	t.Fatal("no blocked span found")
+}
