@@ -16,12 +16,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"flexsim/cmd/internal/flags"
+	"flexsim/internal/api/specv1"
 	"flexsim/internal/core"
 	"flexsim/internal/experiments"
 	"flexsim/internal/obs"
@@ -62,6 +65,9 @@ func run() int {
 	ids := []string{sweep.Experiment}
 	if sweep.Experiment == "all" {
 		ids = experiments.Names()
+	}
+	if sweep.Spec != "" {
+		ids = nil // the spec's own name labels /progress
 	}
 
 	cache, err := common.OpenCache()
@@ -107,7 +113,7 @@ func run() int {
 				progress.RunDone()
 			}
 		}
-		srv, err := obs.Serve(common.HTTPAddr, nil, progress)
+		srv, err := obs.Serve(common.HTTPAddr, obs.WithSweep(progress))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "charsweep:", err)
 			return 1
@@ -117,6 +123,24 @@ func run() int {
 	}
 
 	interrupted := false
+	if sweep.Spec != "" {
+		code := runSpecFile(ctx, sweep, cache, progress)
+		if cache != nil {
+			fmt.Fprintf(os.Stderr, "charsweep: cache: %d hits, %d misses (%d run(s) now on disk)\n",
+				cache.Hits(), cache.Misses(), cache.Len())
+			if err := cache.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "charsweep:", err)
+				return 1
+			}
+		}
+		if sinkClose != nil {
+			if err := sinkClose(); err != nil {
+				fmt.Fprintln(os.Stderr, "charsweep:", err)
+				return 1
+			}
+		}
+		return code
+	}
 	for _, id := range ids {
 		f, err := experiments.ByName(id)
 		if err != nil {
@@ -209,6 +233,127 @@ func run() int {
 			what = "re-run with -cache-dir " + cache.Dir()
 		}
 		fmt.Fprintf(os.Stderr, "charsweep: sweep interrupted; %s to resume from completed runs\n", what)
+	}
+	return 0
+}
+
+// runSpecFile executes a specv1 sweep spec with the local runner and emits
+// the sweep service's wire format (PointResult JSONL). With -cache-dir
+// pointed at a sweep service's shared store, every point already completed
+// there is served from it and the emitted result bytes are byte-identical
+// to the service's results for the same spec.
+func runSpecFile(ctx context.Context, sweep *flags.Sweep, cache *core.Cache, progress *obs.SweepProgress) int {
+	in := io.Reader(os.Stdin)
+	if sweep.Spec != "-" {
+		f, err := os.Open(sweep.Spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charsweep:", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	spec, err := specv1.DecodeSpec(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charsweep:", err)
+		return 1
+	}
+
+	copts := []core.Option{core.WithParallelism(sweep.Parallel)}
+	if cache != nil {
+		copts = append(copts, core.WithCache(cache))
+	}
+	if progress != nil {
+		progress.Start(spec.Name)
+		copts = append(copts, core.WithOnDone(func(_ int, p core.Point) {
+			switch p.Status {
+			case core.StatusCached:
+				progress.RunCached()
+			case core.StatusFailed:
+				progress.RunFailed()
+			case core.StatusCancelled:
+				progress.RunCancelled()
+			default:
+				progress.RunDone()
+			}
+		}))
+	}
+
+	start := time.Now()
+	pts, err := core.RunSpec(ctx, spec, copts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charsweep:", err)
+		return 1
+	}
+	configs, err := spec.Configs()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charsweep:", err)
+		return 1
+	}
+	results, err := core.PointResults(configs, pts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charsweep:", err)
+		return 1
+	}
+	// Prefer the store's bytes for every settled point: decode/re-encode
+	// drift can never creep into the byte-identity contract.
+	if cache != nil {
+		for i := range results {
+			if len(results[i].Result) == 0 {
+				continue
+			}
+			if raw, ok := cache.GetRaw(results[i].Key); ok {
+				results[i].Result = raw
+			}
+		}
+	}
+
+	out := io.Writer(os.Stdout)
+	if sweep.ResultsOut != "" {
+		f, err := os.Create(sweep.ResultsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charsweep:", err)
+			return 1
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := specv1.WriteResults(out, results); err != nil {
+		fmt.Fprintln(os.Stderr, "charsweep:", err)
+		return 1
+	}
+
+	var done, cached, failed, cancelled int
+	for _, pr := range results {
+		switch pr.Status {
+		case specv1.StatusCached:
+			cached++
+		case specv1.StatusFailed:
+			failed++
+		case specv1.StatusCancelled:
+			cancelled++
+		default:
+			done++
+		}
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+	fmt.Fprintf(os.Stderr, "charsweep: spec %s: %d point(s) — %d done, %d cached, %d failed, %d cancelled in %v\n",
+		spec.Name, len(results), done, cached, failed, cancelled, elapsed)
+	if progress != nil {
+		switch {
+		case cancelled > 0:
+			progress.Cancel(spec.Name)
+		case failed > 0:
+			progress.Fail(spec.Name)
+		default:
+			progress.Finish(spec.Name, time.Since(start))
+		}
+	}
+	if failed > 0 {
+		return 1
+	}
+	if cancelled > 0 {
+		fmt.Fprintf(os.Stderr, "charsweep: spec interrupted; re-run to resume from completed runs\n")
 	}
 	return 0
 }

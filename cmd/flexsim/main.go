@@ -114,7 +114,7 @@ func run() int {
 		if cfg.MetricsEvery == 0 {
 			cfg.MetricsEvery = common.MetricsEvery
 		}
-		srv, err := obs.Serve(common.HTTPAddr, live, nil)
+		srv, err := obs.Serve(common.HTTPAddr, obs.WithLive(live))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "flexsim:", err)
 			return 1

@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"flexsim/internal/api/specv1"
 	"flexsim/internal/experiments"
 	"flexsim/internal/fault"
 	"flexsim/internal/obs"
@@ -309,6 +310,8 @@ func (x *Extras) Apply(c *sim.Config) {
 // Sweep holds the charsweep-only flags.
 type Sweep struct {
 	Experiment    string
+	Spec          string
+	ResultsOut    string
 	Quick         bool
 	CSV           bool
 	Plot          bool
@@ -328,6 +331,10 @@ var SweepDefs = []Def[*Sweep]{
 		func(fs *flag.FlagSet, s *Sweep, usage string) {
 			fs.StringVar(&s.Experiment, "experiment", "all", usage)
 		}},
+	{"spec", "run this specv1 sweep spec file (- = stdin) instead of -experiment, emitting specv1 PointResult JSONL (the same wire format the sweep service serves)",
+		func(fs *flag.FlagSet, s *Sweep, usage string) { fs.StringVar(&s.Spec, "spec", "", usage) }},
+	{"results-out", "write the -spec run's PointResult JSONL to this file (default stdout)",
+		func(fs *flag.FlagSet, s *Sweep, usage string) { fs.StringVar(&s.ResultsOut, "results-out", "", usage) }},
 	{"quick", "scaled-down runs (8-ary 2-cube, short windows)",
 		func(fs *flag.FlagSet, s *Sweep, usage string) { fs.BoolVar(&s.Quick, "quick", false, usage) }},
 	{"csv", "emit CSV instead of aligned text",
@@ -375,15 +382,11 @@ func (s *Sweep) Options() (experiments.Options, error) {
 		Quick: s.Quick, Parallelism: s.Parallel, Seed: s.Seed, Shards: s.Shards,
 		FaultSeed: s.FaultSeed, FaultLinkMTTF: s.FaultLinkMTTF, FaultRepair: s.FaultRepair,
 	}
-	if s.Loads != "" {
-		for _, f := range strings.Split(s.Loads, ",") {
-			var l float64
-			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%g", &l); err != nil {
-				return o, fmt.Errorf("bad load %q: %v", f, err)
-			}
-			o.Loads = append(o.Loads, l)
-		}
+	loads, err := specv1.ParseLoads(s.Loads)
+	if err != nil {
+		return o, err
 	}
+	o.Loads = loads
 	events, err := ReadFaultSchedule(s.FaultSchedule)
 	if err != nil {
 		return o, err

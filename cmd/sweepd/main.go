@@ -1,0 +1,145 @@
+// Command sweepd is the sweep service: a coordinator that accepts versioned
+// sweep specifications over HTTP, schedules their points onto a worker pool,
+// dedupes results through a shared content-addressed store, and streams
+// progress to any number of clients (see sweepctl).
+//
+//	sweepd -http :8600 -store sweep.store                 # in-process workers
+//	sweepd -worker -http :8601 -store sweep.store         # one fleet worker
+//	sweepd -http :8600 -store sweep.store \
+//	       -fleet http://host1:8601,http://host2:8601     # coordinator of a fleet
+//
+// Every process in the fleet shares one store directory: the store's
+// single-write appends make concurrent readers and writers safe, so a result
+// computed anywhere is served everywhere — including to a later local
+// charsweep run pointed at the same directory.
+//
+// The coordinator journals submissions and completions (-journal), so a
+// restarted sweepd resumes unfinished sweeps without re-executing completed
+// points. SIGINT/SIGTERM drains gracefully: submissions are refused,
+// in-flight points get -drain-grace to finish, and the journal resumes the
+// rest on the next start.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"flexsim/cmd/internal/flags"
+	"flexsim/internal/obs"
+	"flexsim/internal/runner"
+	"flexsim/internal/sweepsvc"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		httpAddr    = flag.String("http", "127.0.0.1:8600", "serve the sweep API (plus /metrics, /healthz, /progress) on this address")
+		store       = flag.String("store", "sweep.store", "shared content-addressed result store directory")
+		worker      = flag.Bool("worker", false, "run as a fleet worker (serve /api/v1/run) instead of a coordinator")
+		name        = flag.String("name", "", "worker name reported in results (default: the listen address)")
+		journal     = flag.String("journal", "", "coordinator journal for idempotent restart (default: <store>/journal.jsonl; \"none\" disables)")
+		workers     = flag.Int("workers", 0, "in-process workers (0 = GOMAXPROCS when -fleet is empty, else none)")
+		fleet       = flag.String("fleet", "", "comma-separated fleet worker base URLs, e.g. http://host:8601")
+		maxRetries  = flag.Int("max-retries", 0, "re-executions per point after worker death/timeouts (0 = default of 2, negative = none)")
+		pointTO     = flag.Duration("point-timeout", 0, "per-point execution timeout (0 = unbounded)")
+		healthEvery = flag.Duration("health-every", 0, "poll period when gating an unhealthy fleet worker on /healthz (0 = 250ms)")
+		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "grace for in-flight points when draining on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	cache, err := runner.Open(*store)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		return 1
+	}
+	defer cache.Close()
+
+	ctx, cancel := flags.SignalContext(0)
+	defer cancel()
+
+	logf := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "sweepd: "+format+"\n", args...)
+	}
+
+	if *worker {
+		wk := &sweepsvc.Worker{Name: *name, Cache: cache}
+		srv, err := obs.Serve(*httpAddr, obs.WithHandler("/api/v1/", wk.Handler()))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweepd:", err)
+			return 1
+		}
+		defer srv.Close()
+		if wk.Name == "" {
+			wk.Name = srv.Addr()
+		}
+		logf("worker %s: serving /api/v1/run on http://%s (store %s, %d result(s) on disk)",
+			wk.Name, srv.Addr(), cache.Dir(), cache.Len())
+		<-ctx.Done()
+		logf("worker %s: shutting down (%d run(s) executed)", wk.Name, wk.Executions())
+		return 0
+	}
+
+	journalPath := *journal
+	switch journalPath {
+	case "":
+		journalPath = filepath.Join(*store, "journal.jsonl")
+	case "none":
+		journalPath = ""
+	}
+	var fleetURLs []string
+	for _, u := range strings.Split(*fleet, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			fleetURLs = append(fleetURLs, u)
+		}
+	}
+
+	progress := obs.NewSweepProgress(nil)
+	svc, err := sweepsvc.New(sweepsvc.Config{
+		Cache:        cache,
+		JournalPath:  journalPath,
+		LocalWorkers: *workers,
+		Fleet:        fleetURLs,
+		MaxRetries:   *maxRetries,
+		PointTimeout: *pointTO,
+		HealthEvery:  *healthEvery,
+		Progress:     progress,
+		Logf:         logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		return 1
+	}
+
+	srv, err := obs.Serve(*httpAddr, obs.WithSweep(progress), obs.WithHandler("/api/v1/", svc.APIHandler()))
+	if err != nil {
+		svc.Close()
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		return 1
+	}
+	defer srv.Close()
+
+	mode := fmt.Sprintf("%d in-process worker(s)", *workers)
+	if len(fleetURLs) > 0 {
+		mode = fmt.Sprintf("fleet of %d worker(s)", len(fleetURLs))
+		if *workers > 0 {
+			mode += fmt.Sprintf(" + %d in-process", *workers)
+		}
+	} else if *workers == 0 {
+		mode = "GOMAXPROCS in-process workers"
+	}
+	logf("coordinator on http://%s (%s; store %s, %d result(s) on disk)",
+		srv.Addr(), mode, cache.Dir(), cache.Len())
+
+	<-ctx.Done()
+	logf("draining (grace %v)...", *drainGrace)
+	svc.Drain(*drainGrace)
+	logf("drained")
+	return 0
+}

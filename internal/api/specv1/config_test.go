@@ -1,0 +1,159 @@
+package specv1
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"flexsim/internal/fault"
+	"flexsim/internal/runner"
+	"flexsim/internal/sim"
+)
+
+// TestFieldCoverage pins the wire contract to the cache key: for every
+// sim.Config field that influences runner.Key (i.e. every semantic field),
+// a FromSim → ToSim round trip must preserve the key. A semantic field
+// added to sim.Config without a PointConfig counterpart fails here instead
+// of silently never travelling — which would make a sweep service run a
+// different physics than the client asked for while caching it under the
+// client's key.
+func TestFieldCoverage(t *testing.T) {
+	base := sim.Default()
+	baseKey := runner.Key(base)
+	typ := reflect.TypeOf(base)
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		mutated, ok := mutateField(base, i)
+		if !ok {
+			continue // runtime plumbing kinds (func/interface/pointer/chan)
+		}
+		key := runner.Key(mutated)
+		if key == baseKey {
+			continue // non-semantic: excluded from the cache key, needs no wire form
+		}
+		round := FromSim(mutated).ToSim()
+		if got := runner.Key(round); got != key {
+			t.Errorf("semantic field sim.Config.%s does not survive the specv1 round trip "+
+				"(key %s != %s); add it to PointConfig", f.Name, got[:12], key[:12])
+		}
+	}
+}
+
+// mutateField returns base with field i set to a non-default value, or
+// ok=false for kinds the cache key skips anyway.
+func mutateField(base sim.Config, i int) (sim.Config, bool) {
+	v := reflect.ValueOf(&base).Elem().Field(i)
+	switch v.Kind() {
+	case reflect.Func, reflect.Interface, reflect.Ptr, reflect.Chan:
+		return base, false
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 7)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 7)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 0.375)
+	case reflect.String:
+		v.SetString(v.String() + "zz")
+	case reflect.Slice:
+		switch elem := v.Type().Elem(); elem {
+		case reflect.TypeOf(int64(0)):
+			v.Set(reflect.ValueOf([]int64{3, 9}))
+		case reflect.TypeOf(fault.Event{}):
+			v.Set(reflect.ValueOf([]fault.Event{{Cycle: 5, Kind: fault.LinkDown, Ch: 2}}))
+		case reflect.TypeOf(float64(0)):
+			v.Set(reflect.ValueOf([]float64{0.25}))
+		case reflect.TypeOf(""):
+			v.Set(reflect.ValueOf([]string{"zz"}))
+		case reflect.TypeOf(0):
+			v.Set(reflect.ValueOf([]int{3}))
+		default:
+			panic("specv1 test: add a mutation for slice element type " + elem.String())
+		}
+	default:
+		panic("specv1 test: add a mutation for kind " + v.Kind().String())
+	}
+	return base, true
+}
+
+func TestConfigRoundTripEquality(t *testing.T) {
+	c := sim.Default()
+	c.Mesh = false
+	c.MsgLenShort = 4
+	c.ShortFrac = 0.25
+	c.Workload = "stencil"
+	c.WorkloadPhases = 3
+	c.FaultEvents = []fault.Event{{Cycle: 9, Kind: fault.NodeDown, Node: 7}}
+	c.TimeoutThresholds = []int64{32}
+	c.Label = "roundtrip"
+	round := FromSim(c).ToSim()
+	if !reflect.DeepEqual(round, c) {
+		t.Fatalf("plumbing-free config changed by round trip:\n got %+v\nwant %+v", round, c)
+	}
+	if runner.Key(round) != runner.Key(c) {
+		t.Fatal("round trip changed the cache key")
+	}
+}
+
+// TestPlumbingDoesNotTravel pins that runtime plumbing fields have no wire
+// form: a config with observation hooks attached produces the same wire
+// bytes as one without.
+func TestPlumbingDoesNotTravel(t *testing.T) {
+	plain := sim.Quick()
+	wired := plain
+	wired.Shards = 8
+	wired.MetricsEvery = 100
+	wired.ProfileEngine = true
+	wired.SpansPath = "spans-*.json"
+	wired.HeatmapPath = "heat-*.csv"
+	wired.ForensicsDepth = 64
+	wired.IncidentDOT = true
+	a, err := json.Marshal(FromSim(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(FromSim(wired))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("plumbing leaked onto the wire:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestPointConfigJSONNames(t *testing.T) {
+	// Spot-check the explicit snake_case names (a sorted-map encode would
+	// fail the golden test; this guards individual tag typos).
+	raw, err := json.Marshal(FromSim(sim.Quick()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"k", "n", "bidirectional", "vcs", "buffer_depth",
+		"msg_len", "routing", "traffic", "load", "seed", "warmup_cycles",
+		"measure_cycles", "detect_every", "victim_policy", "recover"} {
+		if _, ok := m[want]; !ok {
+			t.Errorf("wire encoding missing field %q (have %v)", want, keys(m))
+		}
+	}
+	for got := range m {
+		for _, r := range got {
+			if r >= 'A' && r <= 'Z' {
+				t.Errorf("wire field %q is not snake_case", got)
+			}
+		}
+	}
+}
+
+func keys(m map[string]interface{}) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

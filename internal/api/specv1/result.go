@@ -1,0 +1,207 @@
+package specv1
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"flexsim/internal/stats"
+)
+
+// Status classifies how a sweep point settled, mirroring runner.Status on
+// the wire.
+type Status string
+
+// Point statuses.
+const (
+	// StatusDone: the point executed to completion.
+	StatusDone Status = "done"
+	// StatusCached: the result was served from the shared store.
+	StatusCached Status = "cached"
+	// StatusFailed: the run errored or panicked (Error carries the cause).
+	StatusFailed Status = "failed"
+	// StatusCancelled: the run was interrupted or never started.
+	StatusCancelled Status = "cancelled"
+)
+
+// PointResult is one settled sweep point. Result holds the simulator's
+// canonical stats.Result encoding (see EncodeResult); it is carried as raw
+// bytes so that a result can travel store → coordinator → client without a
+// re-encode, keeping fleet and local runs byte-comparable.
+type PointResult struct {
+	SchemaVersion int     `json:"schema_version"`
+	Index         int     `json:"index"`
+	Load          float64 `json:"load"`
+	Status        Status  `json:"status"`
+	// Key is the point's content address in the shared store.
+	Key string `json:"key,omitempty"`
+	// Worker names the fleet worker that executed the point ("" for
+	// cache-served and locally executed points).
+	Worker string `json:"worker,omitempty"`
+	// Attempts counts executions scheduled for this point (> 1 after a
+	// retry on worker death).
+	Attempts int             `json:"attempts,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+// EncodeResult produces the canonical wire encoding of a simulation result:
+// plain JSON of stats.Result, the same bytes the content-addressed store
+// persists. Returns nil for a nil result.
+func EncodeResult(res *stats.Result) (json.RawMessage, error) {
+	if res == nil {
+		return nil, nil
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return nil, fmt.Errorf("specv1: encode result: %w", err)
+	}
+	return raw, nil
+}
+
+// DecodeResult decodes a canonical result payload.
+func DecodeResult(raw json.RawMessage) (*stats.Result, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	var res stats.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, fmt.Errorf("specv1: decode result: %w", err)
+	}
+	return &res, nil
+}
+
+// WriteResults writes point results as JSONL, one PointResult per line —
+// the format of sweepd's results endpoint and charsweep's -results-out.
+func WriteResults(w io.Writer, results []PointResult) error {
+	enc := json.NewEncoder(w)
+	for i := range results {
+		if err := enc.Encode(&results[i]); err != nil {
+			return fmt.Errorf("specv1: write results: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadResults strictly decodes a JSONL stream of point results.
+func ReadResults(r io.Reader) ([]PointResult, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var out []PointResult
+	for dec.More() {
+		var pr PointResult
+		if err := dec.Decode(&pr); err != nil {
+			return nil, fmt.Errorf("specv1: read results: %w", err)
+		}
+		if pr.SchemaVersion != Version {
+			return nil, fmt.Errorf("specv1: result schema_version %d, want %d", pr.SchemaVersion, Version)
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+// RunRequest asks a fleet worker to execute one point.
+type RunRequest struct {
+	SchemaVersion int         `json:"schema_version"`
+	Config        PointConfig `json:"config"`
+	// TimeoutMS bounds the run on the worker side (0 = the coordinator's
+	// HTTP context is the only bound).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// DecodeRunRequest strictly decodes a worker run request.
+func DecodeRunRequest(r io.Reader) (*RunRequest, error) {
+	var req RunRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return nil, fmt.Errorf("specv1: run request: %w", err)
+	}
+	if req.SchemaVersion != Version {
+		return nil, fmt.Errorf("specv1: run request schema_version %d, want %d", req.SchemaVersion, Version)
+	}
+	return &req, nil
+}
+
+// RunResponse is a fleet worker's answer to a RunRequest.
+type RunResponse struct {
+	SchemaVersion int    `json:"schema_version"`
+	Status        Status `json:"status"`
+	// Worker echoes the worker's name (its listen address by default).
+	Worker string `json:"worker,omitempty"`
+	// Persisted reports that the worker already appended the result to the
+	// shared store, so the coordinator must not append it again.
+	Persisted bool            `json:"persisted,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+// DecodeRunResponse strictly decodes a worker run response.
+func DecodeRunResponse(r io.Reader) (*RunResponse, error) {
+	var resp RunResponse
+	if err := decodeStrict(r, &resp); err != nil {
+		return nil, fmt.Errorf("specv1: run response: %w", err)
+	}
+	if resp.SchemaVersion != Version {
+		return nil, fmt.Errorf("specv1: run response schema_version %d, want %d", resp.SchemaVersion, Version)
+	}
+	return &resp, nil
+}
+
+// SweepState is a sweep's lifecycle state on the coordinator.
+type SweepState string
+
+// Sweep states.
+const (
+	// SweepRunning: points are pending or in flight (a drained/restarted
+	// coordinator resumes such sweeps from the journal).
+	SweepRunning SweepState = "running"
+	// SweepDone: every point settled.
+	SweepDone SweepState = "done"
+)
+
+// SweepStatus summarizes one sweep's progress.
+type SweepStatus struct {
+	SchemaVersion int        `json:"schema_version"`
+	ID            string     `json:"id"`
+	Name          string     `json:"name,omitempty"`
+	State         SweepState `json:"state"`
+	Total         int        `json:"points_total"`
+	Done          int        `json:"points_done"`
+	Cached        int        `json:"points_cached"`
+	Failed        int        `json:"points_failed"`
+	Cancelled     int        `json:"points_cancelled"`
+	Running       int        `json:"points_running"`
+	Pending       int        `json:"points_pending"`
+	// Retries counts point re-executions after worker failures.
+	Retries int `json:"retries,omitempty"`
+}
+
+// Settled returns the number of points that reached a final state.
+func (s *SweepStatus) Settled() int { return s.Done + s.Cached + s.Failed + s.Cancelled }
+
+// SweepList is the coordinator's sweep index.
+type SweepList struct {
+	SchemaVersion int           `json:"schema_version"`
+	Sweeps        []SweepStatus `json:"sweeps"`
+}
+
+// Event is one server-sent event on a sweep's event stream.
+type Event struct {
+	// Type is "point" (one point settled; Point is set, without its result
+	// payload), "progress" (Status is set), or "done" (final Status; the
+	// stream ends after it).
+	Type  string       `json:"type"`
+	Sweep string       `json:"sweep"`
+	Point *PointResult `json:"point,omitempty"`
+	Stat  *SweepStatus `json:"status,omitempty"`
+}
+
+// DecodeEvent strictly decodes one event payload.
+func DecodeEvent(data []byte) (*Event, error) {
+	var ev Event
+	if err := decodeStrict(bytes.NewReader(data), &ev); err != nil {
+		return nil, fmt.Errorf("specv1: event: %w", err)
+	}
+	return &ev, nil
+}

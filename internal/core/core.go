@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 
+	"flexsim/internal/api/specv1"
 	"flexsim/internal/runner"
 	"flexsim/internal/sim"
 	"flexsim/internal/stats"
@@ -94,13 +95,7 @@ func MustRun(c Config) *Result {
 
 // Loads returns {from, from+step, ...} up to and including to (within half a
 // step of floating error).
-func Loads(from, to, step float64) []float64 {
-	var out []float64
-	for l := from; l <= to+step/2; l += step {
-		out = append(out, math.Round(l*1e9)/1e9)
-	}
-	return out
-}
+func Loads(from, to, step float64) []float64 { return specv1.Loads(from, to, step) }
 
 // Option configures a sweep (RunAll / LoadSweep).
 type Option func(*runner.Options)
@@ -138,26 +133,61 @@ func RunAll(ctx context.Context, configs []Config, opts ...Option) []Point {
 	return runner.Map(ctx, configs, o)
 }
 
-// LoadSweep runs base at each offered load under ctx, in parallel. Each
-// point derives a deterministic seed from the base seed and its index so
-// results are reproducible regardless of scheduling.
+// LoadSweep runs base at each offered load under ctx, in parallel. The
+// expansion (including the deterministic per-point seed) is the versioned v1
+// rule in specv1.ExpandLoads, so a local sweep and the sweep service
+// enumerate identical configurations and share one content-addressed store.
+// Base's runtime plumbing (tracers, sinks) is carried into every point.
 func LoadSweep(ctx context.Context, base Config, loads []float64, opts ...Option) []Point {
-	configs := make([]Config, len(loads))
-	for i, l := range loads {
-		c := base
-		c.Load = l
-		c.Seed = pointSeed(base.Seed, i)
-		configs[i] = c
-	}
-	return RunAll(ctx, configs, opts...)
+	return RunAll(ctx, specv1.ExpandLoads(base, loads), opts...)
 }
 
-// pointSeed decorrelates per-point seeds (SplitMix64 step).
-func pointSeed(base uint64, i int) uint64 {
-	z := base + 0x9e3779b97f4a7c15*uint64(i+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+// RunSpec expands a versioned sweep spec and executes its points under ctx —
+// the library form of submitting the spec to a sweep service.
+func RunSpec(ctx context.Context, spec *specv1.Spec, opts ...Option) ([]Point, error) {
+	configs, err := spec.Configs()
+	if err != nil {
+		return nil, err
+	}
+	return RunAll(ctx, configs, opts...), nil
+}
+
+// PointResults converts settled sweep points into their wire form, keyed by
+// each configuration's content address. Results are re-encoded canonically;
+// callers holding raw store bytes should prefer those for byte-identity.
+func PointResults(configs []Config, points []Point) ([]specv1.PointResult, error) {
+	if len(configs) != len(points) {
+		return nil, fmt.Errorf("core: %d configs for %d points", len(configs), len(points))
+	}
+	out := make([]specv1.PointResult, len(points))
+	for i, p := range points {
+		pr := specv1.PointResult{
+			SchemaVersion: specv1.Version,
+			Index:         i,
+			Load:          p.Load,
+			Key:           runner.Key(configs[i]),
+		}
+		switch p.Status {
+		case StatusCached:
+			pr.Status = specv1.StatusCached
+		case StatusFailed:
+			pr.Status = specv1.StatusFailed
+		case StatusCancelled:
+			pr.Status = specv1.StatusCancelled
+		default:
+			pr.Status = specv1.StatusDone
+		}
+		if p.Err != nil {
+			pr.Error = p.Err.Error()
+		}
+		raw, err := specv1.EncodeResult(p.Result)
+		if err != nil {
+			return nil, err
+		}
+		pr.Result = raw
+		out[i] = pr
+	}
+	return out, nil
 }
 
 // FirstError returns the first error among points, annotated with its load.

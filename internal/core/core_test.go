@@ -4,6 +4,8 @@ import (
 	"context"
 	"math"
 	"testing"
+
+	"flexsim/internal/api/specv1"
 )
 
 func tiny() Config {
@@ -114,10 +116,53 @@ func TestSaturationLoad(t *testing.T) {
 func TestPointSeedDistinct(t *testing.T) {
 	seen := map[uint64]bool{}
 	for i := 0; i < 1000; i++ {
-		s := pointSeed(1, i)
+		s := specv1.PointSeed(1, i)
 		if seen[s] {
-			t.Fatalf("pointSeed collision at %d", i)
+			t.Fatalf("PointSeed collision at %d", i)
 		}
 		seen[s] = true
+	}
+}
+
+// TestRunSpecMatchesLoadSweep pins the adapter contract: executing a
+// versioned spec and running the equivalent local load sweep enumerate the
+// same configurations (same seeds, same cache keys) and produce identical
+// measurements.
+func TestRunSpecMatchesLoadSweep(t *testing.T) {
+	base := tiny()
+	loads := []float64{0.2, 0.8}
+	spec := specv1.LoadSpec("t", base, loads)
+	viaSpec, err := RunSpec(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := LoadSweep(context.Background(), base, loads)
+	if len(viaSpec) != len(local) {
+		t.Fatalf("RunSpec %d points, LoadSweep %d", len(viaSpec), len(local))
+	}
+	for i := range local {
+		if viaSpec[i].Result.Seed != local[i].Result.Seed {
+			t.Errorf("point %d: spec seed %d != local seed %d", i, viaSpec[i].Result.Seed, local[i].Result.Seed)
+		}
+		if viaSpec[i].Result.Delivered != local[i].Result.Delivered {
+			t.Errorf("point %d: spec delivered %d != local %d", i, viaSpec[i].Result.Delivered, local[i].Result.Delivered)
+		}
+	}
+
+	cfgs, err := spec.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prs, err := PointResults(cfgs, viaSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pr := range prs {
+		if pr.Key != CacheKey(cfgs[i]) {
+			t.Errorf("point %d: wire key %s != cache key", i, pr.Key)
+		}
+		if pr.Status != specv1.StatusDone || len(pr.Result) == 0 {
+			t.Errorf("point %d: status %q, %d result bytes", i, pr.Status, len(pr.Result))
+		}
 	}
 }

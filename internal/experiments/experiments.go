@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"flexsim/internal/api/specv1"
 	"flexsim/internal/core"
 	"flexsim/internal/fault"
 	"flexsim/internal/obs"
@@ -153,6 +154,14 @@ func (o Options) loads() []float64 {
 		return []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2}
 	}
 	return core.Loads(0.1, 1.3, 0.1)
+}
+
+// Spec renders the option's base configuration crossed with its load axis
+// as a versioned sweep spec — the form sweepctl mkspec writes and a sweep
+// service executes. The expansion rule (specv1.ExpandLoads) matches
+// core.LoadSweep, so a service-run spec shares cache keys with local sweeps.
+func Spec(name string, o Options) *specv1.Spec {
+	return specv1.LoadSpec(name, o.base(), o.loads())
 }
 
 // Census enumeration caps: the paper reports "hundreds of thousands" of

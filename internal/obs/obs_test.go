@@ -285,7 +285,7 @@ func TestServerEndpoints(t *testing.T) {
 	var live Live
 	live.Store(sample(42))
 	sweep := NewSweepProgress([]string{"fig5"})
-	srv, err := Serve("127.0.0.1:0", &live, sweep)
+	srv, err := Serve("127.0.0.1:0", WithLive(&live), WithSweep(sweep))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +315,7 @@ func TestServerEndpoints(t *testing.T) {
 }
 
 func TestServerWithoutSweep(t *testing.T) {
-	srv, err := Serve("127.0.0.1:0", &Live{}, nil)
+	srv, err := Serve("127.0.0.1:0", WithLive(&Live{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +331,7 @@ func TestServerWithoutSweep(t *testing.T) {
 }
 
 func TestServerBadAddr(t *testing.T) {
-	if _, err := Serve("256.256.256.256:99999", nil, nil); err == nil {
+	if _, err := Serve("256.256.256.256:99999"); err == nil {
 		t.Error("bad address accepted")
 	}
 }

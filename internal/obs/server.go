@@ -7,55 +7,107 @@ import (
 	"time"
 )
 
-// Server exposes live run state over HTTP while a simulation or sweep is
-// running:
+// This file is the one HTTP surface of the repo: every server — flexsim's
+// -http, charsweep's -http, sweepd's coordinator and worker modes — builds
+// its mux here, so the introspection endpoints have identical paths,
+// content types and semantics everywhere:
 //
 //	/metrics  Prometheus text exposition (live gauges + sweep counters)
-//	/healthz  liveness probe ("ok")
+//	/healthz  liveness probe ("ok", text/plain)
 //	/progress JSON sweep-progress view (404 when no sweep is attached)
 //
-// Either source may be nil; the server renders whatever is attached. The
-// listener binds synchronously (so a bad address fails fast) and handlers
-// run on a background goroutine until Close.
-type Server struct {
+// Commands contribute their own endpoints (e.g. sweepd's /api/v1/ tree)
+// with WithHandler; the shared endpoints cannot be overridden or drift.
+
+// ServerOption configures the shared mux (see WithLive, WithSweep,
+// WithHandler).
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
 	live  *Live
 	sweep *SweepProgress
-	ln    net.Listener
-	srv   *http.Server
+	extra []route
 }
 
-// Serve binds addr (e.g. ":9090" or "127.0.0.1:0") and starts serving.
-func Serve(addr string, live *Live, sweep *SweepProgress) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+type route struct {
+	pattern string
+	handler http.Handler
+}
+
+// WithLive attaches live run gauges to /metrics.
+func WithLive(l *Live) ServerOption {
+	return func(c *serverConfig) { c.live = l }
+}
+
+// WithSweep attaches sweep progress: counters on /metrics and the JSON
+// view on /progress.
+func WithSweep(p *SweepProgress) ServerOption {
+	return func(c *serverConfig) { c.sweep = p }
+}
+
+// WithHandler mounts an additional handler on the mux (e.g. "/api/v1/").
+// The shared endpoints are registered last on more specific patterns, so
+// extra handlers cannot shadow them.
+func WithHandler(pattern string, h http.Handler) ServerOption {
+	return func(c *serverConfig) { c.extra = append(c.extra, route{pattern, h}) }
+}
+
+// NewMux builds the shared introspection mux. Either source may be absent;
+// the handlers render whatever is attached.
+func NewMux(opts ...ServerOption) *http.ServeMux {
+	var c serverConfig
+	for _, o := range opts {
+		o(&c)
 	}
-	s := &Server{live: live, sweep: sweep, ln: ln}
 	mux := http.NewServeMux()
+	for _, r := range c.extra {
+		mux.Handle(r.pattern, r.handler)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if s.live != nil {
-			if err := s.live.WritePrometheus(w); err != nil {
+		if c.live != nil {
+			if err := c.live.WritePrometheus(w); err != nil {
 				return
 			}
 		}
-		if s.sweep != nil {
-			s.sweep.WritePrometheus(w)
+		if c.sweep != nil {
+			c.sweep.WritePrometheus(w)
 		}
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
-		if s.sweep == nil {
+		if c.sweep == nil {
 			http.NotFound(w, nil)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		s.sweep.WriteJSON(w)
+		c.sweep.WriteJSON(w)
 	})
-	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return mux
+}
+
+// Server serves the shared mux over HTTP until Close. The listener binds
+// synchronously (so a bad address fails fast) and handlers run on a
+// background goroutine.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. ":9090" or "127.0.0.1:0") and starts serving the
+// mux built from the options.
+func Serve(addr string, opts ...ServerOption) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: NewMux(opts...), ReadHeaderTimeout: 5 * time.Second},
+	}
 	go s.srv.Serve(ln) // returns ErrServerClosed on Close
 	return s, nil
 }

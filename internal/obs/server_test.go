@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMuxWithHandler pins the extension contract: commands mount their own
+// endpoints with WithHandler, and the shared introspection endpoints keep
+// working next to them and cannot be shadowed.
+func TestMuxWithHandler(t *testing.T) {
+	var live Live
+	live.Store(sample(7))
+	api := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "api-tree")
+	})
+	shadow := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "shadowed")
+	})
+	mux := NewMux(
+		WithLive(&live),
+		WithHandler("/api/v1/", api),
+		// A catch-all must not capture the shared endpoints.
+		WithHandler("/", shadow),
+	)
+
+	get := func(path string) (int, string, string) {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code, rec.Body.String(), rec.Header().Get("Content-Type")
+	}
+
+	if code, body, _ := get("/api/v1/sweeps"); code != 200 || body != "api-tree" {
+		t.Errorf("/api/v1/sweeps = %d %q", code, body)
+	}
+	if code, body, ct := get("/healthz"); code != 200 || !strings.Contains(body, "ok") ||
+		!strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/healthz = %d %q (%s)", code, body, ct)
+	}
+	if code, body, ct := get("/metrics"); code != 200 ||
+		!strings.Contains(body, "flexsim_cycle 7") ||
+		!strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics = %d (%s):\n%s", code, ct, body)
+	}
+	// No sweep attached: /progress is 404 even with a "/" handler mounted.
+	if code, _, _ := get("/progress"); code != 404 {
+		t.Errorf("/progress without sweep = %d", code)
+	}
+	if code, body, _ := get("/elsewhere"); code != 200 || body != "shadowed" {
+		t.Errorf("catch-all = %d %q", code, body)
+	}
+}
+
+// TestMuxProgressJSON pins the /progress content type through the builder.
+func TestMuxProgressJSON(t *testing.T) {
+	p := NewSweepProgress([]string{"fig5"})
+	mux := NewMux(WithSweep(p))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/progress", nil))
+	if rec.Code != 200 || rec.Header().Get("Content-Type") != "application/json" ||
+		!strings.Contains(rec.Body.String(), `"fig5"`) {
+		t.Errorf("/progress = %d %s %q", rec.Code, rec.Header().Get("Content-Type"), rec.Body.String())
+	}
+}

@@ -5,13 +5,27 @@ package runner
 // cache keys each run by the SHA-256 of its canonically JSON-encoded
 // sim.Config and persists completed Points as JSONL, letting an interrupted
 // or repeated sweep skip every configuration it has already finished.
-
+//
+// The store is safe for concurrent multi-process appenders — a sweep
+// coordinator and its worker fleet all Open the same directory:
+//
+//   - Writes are single-record appends: each Put marshals one complete
+//     JSONL line and issues exactly one write(2) on an O_APPEND descriptor,
+//     so concurrent appenders never interleave bytes within a record and a
+//     crash loses at most the line being written.
+//   - Reads are lock-free: Get/GetRaw load from an immutable-keyed
+//     sync.Map behind an atomic pointer; no Get ever contends with a Put or
+//     a Reload.
+//   - Reload incrementally scans lines other processes have appended since
+//     the last load, never consuming a partial (in-flight) final line, so a
+//     coordinator can adopt its workers' completions at any time.
 import (
 	"bufio"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -86,19 +100,26 @@ type entry struct {
 	Result json.RawMessage `json:"result"`
 }
 
-// Cache is a concurrency-safe, disk-backed result cache. Open loads every
-// previously persisted Point into memory; Put appends one JSONL line per
-// completed run, so a crash loses at most the line being written (a torn
-// final line is skipped on the next Open).
+// Cache is a disk-backed result cache shared by concurrent readers within
+// a process and concurrent appender processes on one filesystem. Open
+// loads every previously persisted complete line into memory; Put appends
+// one JSONL record per completed run with a single write; Reload picks up
+// records appended by other processes since the last load.
 type Cache struct {
 	dir  string
 	hits atomic.Int64
 	miss atomic.Int64
 
-	mu      sync.Mutex
-	entries map[string]json.RawMessage
-	f       *os.File
-	err     error // first persistence failure, reported at close
+	// entries points at the in-memory index (key → raw Result JSON).
+	// Lookups are lock-free loads; Forget swaps in a fresh map.
+	entries atomic.Pointer[sync.Map]
+
+	// mu serializes writers and loaders: Put's append, Reload's scan, the
+	// read offset, and the first persistence error.
+	mu  sync.Mutex
+	f   *os.File
+	off int64 // bytes of cacheFile consumed by Open/Reload (complete lines only)
+	err error // first persistence failure, reported at Close
 }
 
 // Open creates dir if needed and loads the persisted results.
@@ -106,52 +127,90 @@ func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runner: cache dir: %w", err)
 	}
-	c := &Cache{dir: dir, entries: make(map[string]json.RawMessage)}
-	path := filepath.Join(dir, cacheFile)
-	if f, err := os.Open(path); err == nil {
-		sc := bufio.NewScanner(f)
-		sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-		for sc.Scan() {
-			var e entry
-			if json.Unmarshal(sc.Bytes(), &e) != nil || e.Key == "" || len(e.Result) == 0 {
-				continue // torn or foreign line; recompute that run
-			}
-			c.entries[e.Key] = e.Result
-		}
-		if err := sc.Err(); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("runner: cache read %s: %w", path, err)
-		}
-		f.Close()
-	} else if !os.IsNotExist(err) {
-		return nil, fmt.Errorf("runner: cache open: %w", err)
+	c := &Cache{dir: dir}
+	c.entries.Store(&sync.Map{})
+	if err := c.Reload(); err != nil {
+		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(c.path(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("runner: cache append: %w", err)
 	}
+	c.mu.Lock()
 	c.f = f
+	c.mu.Unlock()
 	return c, nil
 }
 
-// Get returns the cached Result for a configuration, counting the lookup
-// as a hit or miss.
-func (c *Cache) Get(cfg sim.Config) (*stats.Result, bool) {
-	key := Key(cfg)
+func (c *Cache) path() string { return filepath.Join(c.dir, cacheFile) }
+
+// Reload scans records appended to the store since the last Open/Reload —
+// by this process or any other — into the in-memory index. A partial final
+// line (an append still in flight in another process) is left unconsumed
+// for the next Reload. Torn or foreign complete lines are skipped; those
+// runs simply recompute.
+func (c *Cache) Reload() error {
 	c.mu.Lock()
-	raw, ok := c.entries[key]
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	f, err := os.Open(c.path())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("runner: cache open: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(c.off, io.SeekStart); err != nil {
+		return fmt.Errorf("runner: cache seek: %w", err)
+	}
+	m := c.entries.Load()
+	r := bufio.NewReaderSize(f, 1<<16)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == nil {
+			c.off += int64(len(line))
+			var e entry
+			if json.Unmarshal(line, &e) != nil || e.Key == "" || len(e.Result) == 0 {
+				continue // torn or foreign line; recompute that run
+			}
+			m.Store(e.Key, e.Result)
+			continue
+		}
+		if err == io.EOF {
+			// Any bytes before EOF lack a trailing newline: an append in
+			// flight. Leave them for the next Reload.
+			return nil
+		}
+		return fmt.Errorf("runner: cache read %s: %w", c.path(), err)
+	}
+}
+
+// Get returns the cached Result for a configuration, counting the lookup
+// as a hit or miss. The lookup itself is lock-free.
+func (c *Cache) Get(cfg sim.Config) (*stats.Result, bool) {
+	raw, ok := c.GetRaw(Key(cfg))
 	if !ok {
-		c.miss.Add(1)
 		return nil, false
 	}
 	var res stats.Result
 	if err := json.Unmarshal(raw, &res); err != nil {
+		c.hits.Add(-1)
+		c.miss.Add(1)
+		return nil, false
+	}
+	return &res, true
+}
+
+// GetRaw returns the persisted result bytes under a content address,
+// counting the lookup as a hit or miss. Lock-free.
+func (c *Cache) GetRaw(key string) (json.RawMessage, bool) {
+	v, ok := c.entries.Load().Load(key)
+	if !ok {
 		c.miss.Add(1)
 		return nil, false
 	}
 	c.hits.Add(1)
-	return &res, true
+	return v.(json.RawMessage), true
 }
 
 // Put records a completed Result under the configuration's content address
@@ -163,20 +222,35 @@ func (c *Cache) Put(cfg sim.Config, res *stats.Result) {
 		c.note(fmt.Errorf("runner: cache encode: %w", err))
 		return
 	}
-	line, err := json.Marshal(entry{Key: Key(cfg), Label: res.Label, Load: res.Load, Result: raw})
+	c.PutRaw(Key(cfg), res.Label, res.Load, raw)
+}
+
+// PutRaw records already-encoded result bytes under a content address and
+// appends them to the store — the byte-preserving path a coordinator uses
+// to persist a worker's response verbatim. The record is written with a
+// single append so concurrent processes never interleave within it.
+func (c *Cache) PutRaw(key, label string, load float64, raw json.RawMessage) {
+	line, err := json.Marshal(entry{Key: key, Label: label, Load: load, Result: raw})
 	if err != nil {
 		c.note(fmt.Errorf("runner: cache encode: %w", err))
 		return
 	}
 	line = append(line, '\n')
+	c.entries.Load().Store(key, raw)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries[Key(cfg)] = raw
 	if c.f != nil {
 		if _, err := c.f.Write(line); err != nil && c.err == nil {
 			c.err = fmt.Errorf("runner: cache write: %w", err)
 		}
 	}
+}
+
+// AdoptRaw records result bytes in the in-memory index without appending
+// to the store — for results another process has already persisted (a
+// fleet worker that shares the cache directory).
+func (c *Cache) AdoptRaw(key string, raw json.RawMessage) {
+	c.entries.Load().Store(key, raw)
 }
 
 func (c *Cache) note(err error) {
@@ -190,19 +264,17 @@ func (c *Cache) note(err error) {
 // Forget drops the in-memory index so every configuration recomputes (and
 // is re-persisted); the CLIs use it for -resume=false.
 func (c *Cache) Forget() {
-	c.mu.Lock()
-	c.entries = make(map[string]json.RawMessage)
-	c.mu.Unlock()
+	c.entries.Store(&sync.Map{})
 }
 
 // Len returns the number of distinct cached configurations.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	c.entries.Load().Range(func(_, _ interface{}) bool { n++; return true })
+	return n
 }
 
-// Hits and Misses count Get outcomes since Open.
+// Hits and Misses count Get/GetRaw outcomes since Open.
 func (c *Cache) Hits() int64   { return c.hits.Load() }
 func (c *Cache) Misses() int64 { return c.miss.Load() }
 

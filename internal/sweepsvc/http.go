@@ -1,0 +1,218 @@
+package sweepsvc
+
+// The coordinator's versioned HTTP API and the fleet worker's run endpoint.
+// Both mount on the shared obs mux (obs.WithHandler), so every process in
+// the fleet also serves the identical /metrics, /healthz and /progress.
+//
+// Coordinator (sweepd):
+//
+//	POST /api/v1/sweeps            submit a specv1.Spec       -> 201 SweepStatus
+//	GET  /api/v1/sweeps            list sweeps                -> SweepList
+//	GET  /api/v1/sweeps/{id}       one sweep's progress       -> SweepStatus
+//	GET  /api/v1/sweeps/{id}/results  settled points          -> PointResult JSONL
+//	GET  /api/v1/sweeps/{id}/events   live progress           -> SSE stream of Event
+//
+// Worker (sweepd -worker):
+//
+//	POST /api/v1/run               execute one point          -> RunResponse
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"flexsim/internal/api/specv1"
+	"flexsim/internal/runner"
+	"flexsim/internal/sim"
+)
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// APIHandler returns the coordinator's HTTP API, for mounting on the shared
+// mux: obs.Serve(addr, obs.WithHandler("/api/v1/", svc.APIHandler()), ...).
+func (s *Service) APIHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/sweeps", s.handleList)
+	mux.HandleFunc("GET /api/v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/sweeps/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /api/v1/sweeps/{id}/events", s.handleEvents)
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := specv1.DecodeSpec(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, errDraining) {
+			code = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleResults(w http.ResponseWriter, r *http.Request) {
+	results, err := s.Results(r.PathValue("id"))
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	specv1.WriteResults(w, results)
+}
+
+// handleEvents streams a sweep's events as server-sent events until the
+// terminal done event (or client disconnect). Many clients may watch one
+// sweep concurrently; each has its own subscription.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	ch, cancel, err := s.Subscribe(r.PathValue("id"))
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	defer cancel()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			data, err := json.Marshal(&ev)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// Worker executes points for a coordinator: one HTTP endpoint speaking the
+// specv1 run protocol. With a Cache attached (the shared store directory),
+// the worker serves already-persisted configurations without running them
+// and persists its completions before responding, so the coordinator adopts
+// the bytes instead of re-appending.
+type Worker struct {
+	// Name identifies this worker in results (its listen address, usually).
+	Name string
+	// Cache is this worker's handle on the shared store (optional).
+	Cache *runner.Cache
+	// Run overrides the simulation executor (tests; nil = sim.RunContext).
+	Run RunFunc
+
+	executions atomic.Int64
+}
+
+// Executions counts the simulations this worker actually ran (cache-served
+// requests excluded).
+func (wk *Worker) Executions() int64 { return wk.executions.Load() }
+
+// Handler returns the worker's API, for mounting on the shared mux.
+func (wk *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/run", wk.handleRun)
+	return mux
+}
+
+func (wk *Worker) handleRun(w http.ResponseWriter, r *http.Request) {
+	req, err := specv1.DecodeRunRequest(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg := req.Config.ToSim()
+	key := runner.Key(cfg)
+	resp := specv1.RunResponse{SchemaVersion: specv1.Version, Worker: wk.Name}
+	if wk.Cache != nil {
+		// Another fleet process may have appended this configuration since
+		// our last look; the incremental Reload is cheap.
+		if err := wk.Cache.Reload(); err == nil {
+			if raw, ok := wk.Cache.GetRaw(key); ok {
+				resp.Status = specv1.StatusCached
+				resp.Persisted = true
+				resp.Result = raw
+				writeJSON(w, http.StatusOK, &resp)
+				return
+			}
+		}
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	wk.executions.Add(1)
+	p := runner.Map(ctx, []sim.Config{cfg}, runner.Options{Parallelism: 1, Run: wk.Run})[0]
+	switch p.Status {
+	case runner.Done:
+		raw, err := specv1.EncodeResult(p.Result)
+		if err != nil {
+			resp.Status = specv1.StatusFailed
+			resp.Error = err.Error()
+			break
+		}
+		if wk.Cache != nil {
+			wk.Cache.PutRaw(key, cfg.Label, cfg.Load, raw)
+			resp.Persisted = true
+		}
+		resp.Status = specv1.StatusDone
+		resp.Result = raw
+	case runner.Cancelled:
+		// Timed out or the coordinator went away: 503 marks it retryable.
+		http.Error(w, fmt.Sprintf("run cancelled: %v", p.Err), http.StatusServiceUnavailable)
+		return
+	default:
+		if ctx.Err() != nil && errors.Is(p.Err, ctx.Err()) {
+			http.Error(w, fmt.Sprintf("run cancelled: %v", p.Err), http.StatusServiceUnavailable)
+			return
+		}
+		resp.Status = specv1.StatusFailed
+		if p.Err != nil {
+			resp.Error = p.Err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, &resp)
+}

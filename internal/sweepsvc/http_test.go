@@ -1,0 +1,94 @@
+package sweepsvc
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"flexsim/internal/api/specv1"
+	"flexsim/internal/obs"
+)
+
+// TestClientRoundTrip drives a coordinator end to end over HTTP: submit via
+// Client, watch the SSE stream to clean termination, then fetch status,
+// results and the sweep list — the exact path sweepctl and the CI smoke job
+// use.
+func TestClientRoundTrip(t *testing.T) {
+	s, err := New(Config{Cache: openCache(t, t.TempDir()), LocalWorkers: 2, Run: stubRun})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv, err := obs.Serve("127.0.0.1:0", obs.WithHandler("/api/v1/", s.APIHandler()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := &Client{Base: "http://" + srv.Addr()}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	st, err := c.Submit(ctx, testSpec("roundtrip", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Total != 4 {
+		t.Fatalf("submitted status: %+v", st)
+	}
+
+	// Watch must terminate cleanly on the done event, not hang or error.
+	var events, doneEvents int
+	if err := c.Watch(ctx, st.ID, func(ev *specv1.Event) error {
+		events++
+		if ev.Type == "done" {
+			doneEvents++
+			if ev.Stat == nil || ev.Stat.State != specv1.SweepDone {
+				t.Errorf("done event stat: %+v", ev.Stat)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if doneEvents != 1 || events < 1 {
+		t.Fatalf("watch saw %d events, %d done", events, doneEvents)
+	}
+
+	st, err = c.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != specv1.SweepDone || st.Done != 4 {
+		t.Fatalf("final status: %+v", st)
+	}
+
+	results, err := c.Results(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for _, pr := range results {
+		if pr.Status != specv1.StatusDone || len(pr.Result) == 0 || pr.Key == "" {
+			t.Fatalf("result: %+v", pr)
+		}
+	}
+
+	list, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sweeps) != 1 || list.Sweeps[0].ID != st.ID {
+		t.Fatalf("list: %+v", list)
+	}
+
+	// Unknown sweep ids are clean 404s through every read path.
+	if _, err := c.Status(ctx, "nope"); err == nil {
+		t.Fatal("status of unknown sweep succeeded")
+	}
+	if err := c.Watch(ctx, "nope", nil); err == nil {
+		t.Fatal("watch of unknown sweep succeeded")
+	}
+}

@@ -1,0 +1,176 @@
+package sweepsvc
+
+// The journal is the coordinator's idempotent-restart record: one JSONL
+// line per sweep submission, point assignment and point completion. On New
+// the journal is replayed — completed points are rebuilt from the shared
+// store by content address, unfinished ones re-enter the queue — so a
+// restarted coordinator never re-executes a point whose completion was
+// journaled. Result payloads never live here; the store owns them.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"flexsim/internal/api/specv1"
+)
+
+// journalRecord is one journal line.
+type journalRecord struct {
+	Type string `json:"type"` // "sweep", "assign", "point"
+
+	// Sweep submission (type "sweep").
+	ID   string       `json:"id,omitempty"`
+	Name string       `json:"name,omitempty"`
+	Spec *specv1.Spec `json:"spec,omitempty"`
+
+	// Point assignment/completion (types "assign", "point").
+	Sweep   string        `json:"sweep,omitempty"`
+	Index   int           `json:"index,omitempty"`
+	Attempt int           `json:"attempt,omitempty"`
+	Worker  string        `json:"worker,omitempty"`
+	Status  specv1.Status `json:"status,omitempty"`
+	Key     string        `json:"key,omitempty"`
+	Error   string        `json:"error,omitempty"`
+}
+
+// journal appends records with single writes on an O_APPEND descriptor
+// (crash loses at most the line in flight; a torn tail is skipped on
+// replay).
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweepsvc: journal: %w", err)
+	}
+	return &journal{f: f}, nil
+}
+
+func (j *journal) append(rec journalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("sweepsvc: journal encode: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("sweepsvc: journal write: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// journalRec appends a record to the journal, if one is attached. Journal
+// failures degrade restart fidelity, not the running sweep: they are logged
+// and the in-memory state stays authoritative.
+func (s *Service) journalRec(rec journalRecord) {
+	s.mu.Lock()
+	j := s.journal
+	s.mu.Unlock()
+	if j == nil {
+		return
+	}
+	if err := j.append(rec); err != nil {
+		s.logf("%v", err)
+	}
+}
+
+// replayJournal rebuilds sweeps from a previous process's journal. Completed
+// done/cached points whose bytes are no longer in the store fall back to
+// unsettled (they re-run); a torn final line is skipped.
+func (s *Service) replayJournal(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("sweepsvc: journal open: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		var rec journalRecord
+		if json.Unmarshal(sc.Bytes(), &rec) != nil {
+			continue // torn or foreign line
+		}
+		switch rec.Type {
+		case "sweep":
+			if rec.Spec == nil || rec.ID == "" {
+				continue
+			}
+			if _, exists := s.sweeps[rec.ID]; exists {
+				continue
+			}
+			sw, err := s.newSweep(rec.ID, rec.Spec)
+			if err != nil {
+				s.logf("journal: sweep %s unreplayable: %v", rec.ID, err)
+				continue
+			}
+			s.sweeps[rec.ID] = sw
+			s.order = append(s.order, rec.ID)
+			var seq int
+			if _, err := fmt.Sscanf(rec.ID, "s%d-", &seq); err == nil && seq > s.seq {
+				s.seq = seq
+			}
+		case "point":
+			sw := s.sweeps[rec.Sweep]
+			if sw == nil || rec.Index < 0 || rec.Index >= len(sw.results) || sw.results[rec.Index] != nil {
+				continue
+			}
+			pr := &specv1.PointResult{
+				SchemaVersion: specv1.Version, Index: rec.Index,
+				Load: sw.configs[rec.Index].Load, Status: rec.Status,
+				Key: rec.Key, Worker: rec.Worker, Attempts: rec.Attempt, Error: rec.Error,
+			}
+			if rec.Status == specv1.StatusDone || rec.Status == specv1.StatusCached {
+				raw, ok := s.cfg.Cache.GetRaw(rec.Key)
+				if !ok {
+					continue // result bytes lost; the point re-runs
+				}
+				pr.Result = raw
+			}
+			sw.results[rec.Index] = pr
+			sw.settled++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("sweepsvc: journal read: %w", err)
+	}
+
+	// Re-enqueue every unsettled point of every resumed sweep, in
+	// submission order.
+	for _, id := range s.order {
+		sw := s.sweeps[id]
+		resumed := 0
+		for i := range sw.configs {
+			if sw.results[i] == nil {
+				s.queue.push(&task{sw: sw, index: i})
+				resumed++
+			}
+		}
+		if p := s.cfg.Progress; p != nil {
+			if resumed > 0 {
+				p.Start(id)
+			} else {
+				p.Finish(id, 0)
+			}
+		}
+		if resumed > 0 {
+			s.logf("sweep %s: resumed from journal (%d settled, %d to run)", id, sw.settled, resumed)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,661 @@
+// Package sweepsvc is the sweep service: a coordinator that accepts
+// versioned sweep specifications (specv1), expands them into simulation
+// points, schedules the points onto a pool of workers, and streams progress
+// and results to any number of concurrent clients.
+//
+// The coordinator is failure-oriented throughout:
+//
+//   - Workers pull work from a shared queue, so a fast worker naturally
+//     takes points a slow one hasn't claimed (work stealing). A point whose
+//     worker dies mid-run — a killed fleet process, a transport error, an
+//     isolated panic — is requeued at the front and re-executed elsewhere,
+//     up to MaxRetries re-executions, while the failing worker's loop gates
+//     on its /healthz endpoint instead of pulling more work.
+//   - Results dedupe across sweeps through the shared content-addressed
+//     store (runner.Cache): a point whose configuration is already persisted
+//     settles as cached without executing, whether it completed in a prior
+//     sweep, a prior process, or on a fleet worker sharing the store.
+//   - Every submission and point completion is journaled, so a restarted
+//     coordinator resumes unfinished sweeps exactly where they stopped:
+//     completed points are served from the store, unfinished ones re-enter
+//     the queue, and nothing executes twice.
+//   - Drain stops the service gracefully: submissions are refused, queued
+//     points are dropped (the journal resumes them), and in-flight points
+//     get a grace period to finish before being cancelled.
+//
+// Execution happens either on in-process workers (the default — each wraps
+// the same resilient runner the CLIs use, so a panicking simulation fails
+// only its point) or on fleet workers: separate processes serving the
+// specv1 run protocol over HTTP (see Worker), all appending to one shared
+// store directory.
+package sweepsvc
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"flexsim/internal/api/specv1"
+	"flexsim/internal/obs"
+	"flexsim/internal/runner"
+	"flexsim/internal/sim"
+	"flexsim/internal/stats"
+)
+
+// RunFunc executes one simulation point (nil means sim.RunContext; tests
+// inject stubs).
+type RunFunc func(ctx context.Context, cfg sim.Config) (*stats.Result, error)
+
+// ErrNotFound reports an unknown sweep id.
+var ErrNotFound = errors.New("sweepsvc: no such sweep")
+
+// errDraining reports a submission to a draining service.
+var errDraining = errors.New("sweepsvc: service is draining")
+
+// Config configures a Service.
+type Config struct {
+	// Cache is the shared content-addressed result store (required). In
+	// fleet mode every worker opens the same directory; the store's
+	// single-write appends keep concurrent processes safe.
+	Cache *runner.Cache
+	// JournalPath persists submissions and completions for idempotent
+	// restart ("" = no journal; sweeps die with the process).
+	JournalPath string
+	// LocalWorkers is the number of in-process executors (0 = GOMAXPROCS
+	// when Fleet is empty, else none).
+	LocalWorkers int
+	// Fleet lists HTTP worker base URLs ("http://host:port"); each gets one
+	// coordinator loop.
+	Fleet []string
+	// MaxRetries bounds re-executions of a point after retryable failures —
+	// worker death, transport errors, timeouts, isolated panics (0 = the
+	// default of 2; negative = no retries).
+	MaxRetries int
+	// PointTimeout bounds each execution attempt (0 = unbounded).
+	PointTimeout time.Duration
+	// HealthEvery is the poll period when gating an unhealthy fleet worker
+	// on its /healthz (0 = 250ms).
+	HealthEvery time.Duration
+	// Run overrides the simulation executor for in-process workers (tests).
+	Run RunFunc
+	// Progress, if non-nil, receives per-run counters and per-sweep states
+	// for the shared /progress endpoint.
+	Progress *obs.SweepProgress
+	// Logf, if non-nil, receives operational log lines.
+	Logf func(format string, args ...interface{})
+}
+
+// Service is a sweep coordinator. New starts its worker loops; Submit,
+// Status, Results and Subscribe may be called from any goroutine (the HTTP
+// layer in this package does); Drain or Close stops it.
+type Service struct {
+	cfg        Config
+	maxRetries int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	queue *workQueue
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	seq     int
+	sweeps  map[string]*sweep
+	order   []string
+	journal *journal
+	closed  bool
+}
+
+// sweep is one submitted specification and its settled points.
+type sweep struct {
+	svc     *Service
+	id      string
+	name    string
+	spec    *specv1.Spec
+	configs []sim.Config
+	keys    []string
+	started time.Time
+
+	mu      sync.Mutex
+	results []*specv1.PointResult // index-aligned; nil = unsettled
+	settled int
+	running int
+	retries int
+	subs    map[chan specv1.Event]struct{}
+}
+
+// New builds a Service: it replays the journal (resuming unfinished
+// sweeps), then starts one loop per worker.
+func New(cfg Config) (*Service, error) {
+	if cfg.Cache == nil {
+		return nil, errors.New("sweepsvc: Config.Cache (the shared result store) is required")
+	}
+	s := &Service{cfg: cfg, maxRetries: cfg.MaxRetries, sweeps: make(map[string]*sweep), queue: newWorkQueue()}
+	if s.maxRetries == 0 {
+		s.maxRetries = 2
+	} else if s.maxRetries < 0 {
+		s.maxRetries = 0
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	if cfg.JournalPath != "" {
+		if err := s.replayJournal(cfg.JournalPath); err != nil {
+			return nil, err
+		}
+		j, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+	}
+
+	healthEvery := cfg.HealthEvery
+	if healthEvery <= 0 {
+		healthEvery = 250 * time.Millisecond
+	}
+	var execs []executor
+	for _, base := range cfg.Fleet {
+		execs = append(execs, newHTTPExec(strings.TrimRight(base, "/"), healthEvery))
+	}
+	local := cfg.LocalWorkers
+	if local == 0 && len(execs) == 0 {
+		local = runtime.GOMAXPROCS(0)
+	}
+	for i := 0; i < local; i++ {
+		execs = append(execs, &localExec{id: fmt.Sprintf("local-%d", i+1), runFn: cfg.Run})
+	}
+	for _, ex := range execs {
+		s.wg.Add(1)
+		go s.workerLoop(ex)
+	}
+	return s, nil
+}
+
+func (s *Service) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Submit registers a sweep: points with a stored result settle instantly as
+// cached, the rest are queued. The returned status is the post-dedupe
+// snapshot.
+func (s *Service) Submit(spec *specv1.Spec) (*specv1.SweepStatus, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errDraining
+	}
+	s.seq++
+	id := fmt.Sprintf("s%d-%s", s.seq, specHash(spec))
+	sw, err := s.newSweep(id, spec)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.sweeps[id] = sw
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	// Journaled before any point is queued, so no completion record can
+	// precede its sweep record.
+	s.journalRec(journalRecord{Type: "sweep", ID: id, Name: spec.Name, Spec: spec})
+	if s.cfg.Progress != nil {
+		s.cfg.Progress.Start(id)
+	}
+	s.logf("sweep %s: %d point(s) submitted", id, len(sw.configs))
+
+	for i := range sw.configs {
+		if raw, ok := s.cfg.Cache.GetRaw(sw.keys[i]); ok {
+			s.settle(sw, i, &specv1.PointResult{Status: specv1.StatusCached, Result: raw}, true)
+			continue
+		}
+		s.queue.push(&task{sw: sw, index: i})
+	}
+	return s.Status(id)
+}
+
+func (s *Service) newSweep(id string, spec *specv1.Spec) (*sweep, error) {
+	configs, err := spec.Configs()
+	if err != nil {
+		return nil, err
+	}
+	sw := &sweep{
+		svc: s, id: id, name: spec.Name, spec: spec, configs: configs,
+		keys:    make([]string, len(configs)),
+		results: make([]*specv1.PointResult, len(configs)),
+		subs:    make(map[chan specv1.Event]struct{}),
+		started: time.Now(),
+	}
+	for i, c := range configs {
+		sw.keys[i] = runner.Key(c)
+	}
+	return sw, nil
+}
+
+// specHash fingerprints a spec for its sweep id suffix.
+func specHash(spec *specv1.Spec) string {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return "invalid"
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:4])
+}
+
+func (s *Service) lookup(id string) *sweep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sweeps[id]
+}
+
+// Status returns a sweep's progress snapshot.
+func (s *Service) Status(id string) (*specv1.SweepStatus, error) {
+	sw := s.lookup(id)
+	if sw == nil {
+		return nil, ErrNotFound
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.statusLocked(), nil
+}
+
+// List returns every sweep's status in submission order.
+func (s *Service) List() *specv1.SweepList {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	list := &specv1.SweepList{SchemaVersion: specv1.Version, Sweeps: []specv1.SweepStatus{}}
+	for _, id := range ids {
+		if st, err := s.Status(id); err == nil {
+			list.Sweeps = append(list.Sweeps, *st)
+		}
+	}
+	return list
+}
+
+// Results returns the sweep's settled points in index order (unsettled
+// points are absent; a done sweep yields every point).
+func (s *Service) Results(id string) ([]specv1.PointResult, error) {
+	sw := s.lookup(id)
+	if sw == nil {
+		return nil, ErrNotFound
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	out := make([]specv1.PointResult, 0, sw.settled)
+	for _, pr := range sw.results {
+		if pr != nil {
+			out = append(out, *pr)
+		}
+	}
+	return out, nil
+}
+
+// Subscribe streams a sweep's events: a "point" and a "progress" event per
+// settling point, then one terminal "done" event, after which the channel
+// closes (closure is the authoritative end-of-stream signal: a slow
+// subscriber may have intermediate — or, at the extreme, the done — event
+// dropped rather than block the sweep). Subscribing to an already-settled
+// sweep yields the done event immediately. The returned cancel function
+// must be called when done.
+func (s *Service) Subscribe(id string) (<-chan specv1.Event, func(), error) {
+	sw := s.lookup(id)
+	if sw == nil {
+		return nil, nil, ErrNotFound
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	ch := make(chan specv1.Event, 64)
+	if sw.settled == len(sw.configs) {
+		ch <- specv1.Event{Type: "done", Sweep: sw.id, Stat: sw.statusLocked()}
+		close(ch)
+		return ch, func() {}, nil
+	}
+	sw.subs[ch] = struct{}{}
+	cancel := func() {
+		sw.mu.Lock()
+		if _, ok := sw.subs[ch]; ok {
+			delete(sw.subs, ch)
+			close(ch)
+		}
+		sw.mu.Unlock()
+	}
+	return ch, cancel, nil
+}
+
+// Drain stops the service gracefully: new submissions are refused, queued
+// points are dropped (the journal resumes them on restart), and in-flight
+// points get grace to finish before being cancelled. A non-positive grace
+// cancels immediately.
+func (s *Service) Drain(grace time.Duration) {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.queue.close()
+	if grace <= 0 {
+		s.cancel()
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	var expired <-chan time.Time
+	if grace > 0 {
+		tm := time.NewTimer(grace)
+		defer tm.Stop()
+		expired = tm.C
+	}
+	select {
+	case <-done:
+	case <-expired:
+		s.logf("drain: grace %v expired; cancelling in-flight points", grace)
+		s.cancel()
+		<-done
+	}
+	s.cancel()
+	s.finishShutdown()
+}
+
+// Close stops the service immediately (Drain without grace).
+func (s *Service) Close() { s.Drain(0) }
+
+func (s *Service) finishShutdown() {
+	s.mu.Lock()
+	sweeps := make([]*sweep, 0, len(s.order))
+	for _, id := range s.order {
+		sweeps = append(sweeps, s.sweeps[id])
+	}
+	j := s.journal
+	s.journal = nil
+	s.mu.Unlock()
+	for _, sw := range sweeps {
+		sw.mu.Lock()
+		for ch := range sw.subs {
+			delete(sw.subs, ch)
+			close(ch)
+		}
+		sw.mu.Unlock()
+	}
+	if j != nil {
+		if err := j.Close(); err != nil {
+			s.logf("journal close: %v", err)
+		}
+	}
+}
+
+// workerLoop pulls points for one executor until the queue closes. After a
+// retryable failure the point is requeued at the front — so another worker
+// picks it up next — and this loop gates on the executor's health before
+// pulling more work.
+func (s *Service) workerLoop(ex executor) {
+	defer s.wg.Done()
+	for {
+		t, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		if s.runTask(ex, t) {
+			s.queue.pushFront(t)
+			t.sw.addRetry()
+			s.logf("worker %s: point %s[%d] requeued (attempt %d); gating on health", ex.name(), t.sw.id, t.index, t.attempts)
+			ex.await(s.ctx)
+		}
+	}
+}
+
+// runTask executes one point on ex, settling it unless it should retry
+// elsewhere (returns true: caller requeues) or the service is shutting down
+// mid-run (the journal resumes it).
+func (s *Service) runTask(ex executor, t *task) (retry bool) {
+	sw, i := t.sw, t.index
+	if sw.isSettled(i) {
+		return false
+	}
+	// Another sweep — or another worker's retry — may have completed this
+	// configuration since it was queued: the shared store is the authority.
+	if raw, ok := s.cfg.Cache.GetRaw(sw.keys[i]); ok {
+		s.settle(sw, i, &specv1.PointResult{Status: specv1.StatusCached, Attempts: t.attempts, Result: raw}, true)
+		return false
+	}
+
+	t.attempts++
+	sw.markRunning(+1)
+	s.journalRec(journalRecord{Type: "assign", Sweep: sw.id, Index: i, Attempt: t.attempts, Worker: ex.name()})
+	ctx, cancel := s.ctx, context.CancelFunc(func() {})
+	if s.cfg.PointTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.PointTimeout)
+	}
+	r := ex.run(ctx, sw.configs[i])
+	cancel()
+	sw.markRunning(-1)
+
+	if r.status == specv1.StatusCancelled || r.retryable {
+		if s.ctx.Err() != nil {
+			return false // shutting down; leave unsettled for the journal
+		}
+	}
+	if r.status == specv1.StatusCancelled {
+		// The per-point deadline fired with the service healthy: retryable.
+		r.retryable = true
+		if r.err == nil {
+			r.err = fmt.Errorf("point timed out after %v", s.cfg.PointTimeout)
+		}
+	}
+	switch {
+	case r.retryable:
+		if t.attempts <= s.maxRetries {
+			return true
+		}
+		s.settle(sw, i, &specv1.PointResult{
+			Status: specv1.StatusFailed, Worker: r.worker, Attempts: t.attempts,
+			Error: fmt.Sprintf("%v (after %d attempt(s))", r.err, t.attempts),
+		}, false)
+	case r.status == specv1.StatusFailed:
+		msg := "run failed"
+		if r.err != nil {
+			msg = r.err.Error()
+		}
+		s.settle(sw, i, &specv1.PointResult{Status: specv1.StatusFailed, Worker: r.worker, Attempts: t.attempts, Error: msg}, false)
+	default:
+		s.settle(sw, i, &specv1.PointResult{Status: r.status, Worker: r.worker, Attempts: t.attempts, Result: r.raw}, r.persisted)
+	}
+	return false
+}
+
+// settle finalizes one point: persists (or adopts) its result bytes in the
+// shared store, journals the completion, feeds the progress counters, and
+// notifies subscribers — emitting the terminal done event when the sweep's
+// last point settles. adopted marks result bytes already present in the
+// store (a cache hit, or a fleet worker that persisted before responding).
+func (s *Service) settle(sw *sweep, index int, pr *specv1.PointResult, adopted bool) {
+	pr.SchemaVersion = specv1.Version
+	pr.Index = index
+	pr.Load = sw.configs[index].Load
+	pr.Key = sw.keys[index]
+	if len(pr.Result) > 0 && (pr.Status == specv1.StatusDone || pr.Status == specv1.StatusCached) {
+		if adopted {
+			s.cfg.Cache.AdoptRaw(pr.Key, pr.Result)
+		} else {
+			s.cfg.Cache.PutRaw(pr.Key, sw.configs[index].Label, pr.Load, pr.Result)
+		}
+	}
+	s.journalRec(journalRecord{
+		Type: "point", Sweep: sw.id, Index: index, Status: pr.Status,
+		Key: pr.Key, Worker: pr.Worker, Attempt: pr.Attempts, Error: pr.Error,
+	})
+	if p := s.cfg.Progress; p != nil {
+		switch pr.Status {
+		case specv1.StatusCached:
+			p.RunCached()
+		case specv1.StatusFailed:
+			p.RunFailed()
+		case specv1.StatusCancelled:
+			p.RunCancelled()
+		default:
+			p.RunDone()
+		}
+	}
+	sw.finish(pr)
+}
+
+// finish records a settled point and notifies subscribers.
+func (sw *sweep) finish(pr *specv1.PointResult) {
+	sw.mu.Lock()
+	if sw.results[pr.Index] != nil {
+		sw.mu.Unlock()
+		return
+	}
+	sw.results[pr.Index] = pr
+	sw.settled++
+	st := sw.statusLocked()
+	pev := *pr
+	pev.Result = nil // point events carry metadata; payloads come from /results
+	sw.broadcastLocked(specv1.Event{Type: "point", Sweep: sw.id, Point: &pev})
+	sw.broadcastLocked(specv1.Event{Type: "progress", Sweep: sw.id, Stat: st})
+	done := sw.settled == len(sw.configs)
+	if done {
+		sw.broadcastLocked(specv1.Event{Type: "done", Sweep: sw.id, Stat: st})
+		for ch := range sw.subs {
+			delete(sw.subs, ch)
+			close(ch)
+		}
+	}
+	sw.mu.Unlock()
+	if done {
+		sw.svc.logf("sweep %s: done (%d done, %d cached, %d failed, %d retries)",
+			sw.id, st.Done, st.Cached, st.Failed, st.Retries)
+		if p := sw.svc.cfg.Progress; p != nil {
+			p.Finish(sw.id, time.Since(sw.started))
+		}
+	}
+}
+
+// broadcastLocked sends an event to every subscriber without blocking: a
+// subscriber that has fallen 64 events behind misses it (channel closure is
+// the terminal signal).
+func (sw *sweep) broadcastLocked(ev specv1.Event) {
+	for ch := range sw.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+func (sw *sweep) statusLocked() *specv1.SweepStatus {
+	st := &specv1.SweepStatus{
+		SchemaVersion: specv1.Version, ID: sw.id, Name: sw.name,
+		State: specv1.SweepRunning, Total: len(sw.configs),
+		Running: sw.running, Retries: sw.retries,
+	}
+	for _, pr := range sw.results {
+		if pr == nil {
+			continue
+		}
+		switch pr.Status {
+		case specv1.StatusCached:
+			st.Cached++
+		case specv1.StatusFailed:
+			st.Failed++
+		case specv1.StatusCancelled:
+			st.Cancelled++
+		default:
+			st.Done++
+		}
+	}
+	st.Pending = st.Total - st.Settled() - st.Running
+	if st.Settled() == st.Total {
+		st.State = specv1.SweepDone
+	}
+	return st
+}
+
+func (sw *sweep) isSettled(i int) bool {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.results[i] != nil
+}
+
+func (sw *sweep) markRunning(delta int) {
+	sw.mu.Lock()
+	sw.running += delta
+	sw.mu.Unlock()
+}
+
+func (sw *sweep) addRetry() {
+	sw.mu.Lock()
+	sw.retries++
+	sw.mu.Unlock()
+}
+
+// task is one queued point execution.
+type task struct {
+	sw       *sweep
+	index    int
+	attempts int // executions so far
+}
+
+// workQueue is the shared pull queue: push appends, pushFront prioritizes a
+// retry, pop blocks until work or closure. Closing drops queued tasks (the
+// journal re-derives them).
+type workQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*task
+	closed bool
+}
+
+func newWorkQueue() *workQueue {
+	q := &workQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *workQueue) push(t *task) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, t)
+	q.cond.Signal()
+}
+
+func (q *workQueue) pushFront(t *task) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append([]*task{t}, q.items...)
+	q.cond.Signal()
+}
+
+func (q *workQueue) pop() (*task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil, false
+	}
+	t := q.items[0]
+	q.items = q.items[1:]
+	return t, true
+}
+
+func (q *workQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.items = nil
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
