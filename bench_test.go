@@ -487,7 +487,10 @@ func BenchmarkPaperScenarios(b *testing.B) {
 // 50-cycle detection period adds to simulation.
 func BenchmarkDetectorTickOverhead(b *testing.B) {
 	r := saturatedRunner(b, "dor", 1)
-	d := detect.New(r.Net, detect.Config{Every: 50, Recover: true, CountKnotCycles: true})
+	d, err := detect.New(r.Net, detect.Config{Every: 50, Recover: true, CountKnotCycles: true})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

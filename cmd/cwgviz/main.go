@@ -13,6 +13,13 @@
 // watched assembling:
 //
 //	cwgviz -routing dor -uni -load 0.9 -at-cycle 3000 > forming.dot
+//
+// With -repro the CWG is not simulated at all: a flexcheck repro file (a
+// model-checked counterexample or exemplar state) is loaded, restored into
+// a fresh network, re-judged by the real detector, and rendered:
+//
+//	flexcheck -grid short -repro-dir repros >/dev/null
+//	cwgviz -repro repros/ring-uni-k3-vc1-dor-m3-l2-b1-exemplar.json > knot.dot
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 
 	"flexsim/internal/cwg"
 	"flexsim/internal/message"
+	"flexsim/internal/modelcheck"
 	"flexsim/internal/sim"
 )
 
@@ -42,7 +50,15 @@ func main() {
 	maxCycles := flag.Int("max-cycles", 200000, "give up after this many simulation cycles")
 	atCycle := flag.Int64("at-cycle", -1, "dump the replayed CWG at this cycle instead of detection time")
 	flag.IntVar(&cfg.ForensicsDepth, "forensics-depth", 1<<16, "resource-event ring size for formation replay (0 disables)")
+	repro := flag.String("repro", "", "render a flexcheck repro file instead of simulating")
 	flag.Parse()
+	if *repro != "" {
+		if err := renderRepro(*repro); err != nil {
+			fmt.Fprintln(os.Stderr, "cwgviz:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	cfg.Bidirectional = !*uni
 	cfg.Recover = false // freeze the first deadlock for inspection
 	cfg.WarmupCycles = 0
@@ -100,4 +116,31 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "cwgviz: no deadlock within %d cycles (try a higher load, -uni, or -routing dor)\n", *maxCycles)
 	os.Exit(2)
+}
+
+// renderRepro loads a flexcheck repro file, replays it through the real
+// pipeline (restore, detect, knot analysis), prints the characterization to
+// stderr and the full CWG in DOT to stdout.
+func renderRepro(path string) error {
+	rep, err := modelcheck.LoadRepro(path)
+	if err != nil {
+		return err
+	}
+	rp, err := rep.Replay()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "repro %s (%s): %s\n", path, rep.Kind, rep.Detail)
+	fmt.Fprintf(os.Stderr, "  config %s, %d messages restored, ground truth stuck=%#x live=%#x\n",
+		rep.Config.Name(), len(rep.Messages), rep.Stuck, rep.Live)
+	an := rp.Analysis
+	fmt.Fprintf(os.Stderr, "  detector: %d knot(s), %d blocked messages\n",
+		len(an.Deadlocks), an.BlockedMessages)
+	for i, d := range an.Deadlocks {
+		fmt.Fprintf(os.Stderr, "  deadlock %d: %s, deadlock set %v (%d msgs), resource set %d VCs, knot %d VCs, %d cycles, %d dependent\n",
+			i, d.Kind, d.DeadlockSet, len(d.DeadlockSet), len(d.ResourceSet), len(d.KnotVCs), d.KnotCycles, len(d.Dependent))
+	}
+	label := func(vc message.VC) string { return rp.Net.VCString(vc) }
+	fmt.Print(rp.Graph.DOT(label))
+	return nil
 }

@@ -162,6 +162,55 @@ func TestPaperFig4(t *testing.T) {
 	}
 }
 
+func TestCheckedRingKnot(t *testing.T) {
+	g := Build(CheckedRingKnot())
+	an := g.Analyze(Options{CountKnotCycles: true})
+	if len(an.Deadlocks) != 1 {
+		t.Fatalf("checked ring knot: %d deadlocks, want 1", len(an.Deadlocks))
+	}
+	d := an.Deadlocks[0]
+	if want := []message.VC{0, 1, 2}; !reflect.DeepEqual(d.KnotVCs, want) {
+		t.Errorf("knot = %v, want the three ring channels %v", d.KnotVCs, want)
+	}
+	if want := []message.ID{0, 1, 2}; !reflect.DeepEqual(d.DeadlockSet, want) {
+		t.Errorf("deadlock set = %v, want %v", d.DeadlockSet, want)
+	}
+	if len(d.ResourceSet) != 6 {
+		t.Errorf("resource set = %v, want 6 VCs (injection VCs ride along)", d.ResourceSet)
+	}
+	if d.Kind != SingleCycle || d.KnotCycles != 1 {
+		t.Errorf("kind=%v density=%d, want single-cycle density 1", d.Kind, d.KnotCycles)
+	}
+	if len(d.Dependent) != 0 {
+		t.Errorf("dependents = %v, want none", d.Dependent)
+	}
+}
+
+func TestCheckedLatentCycle(t *testing.T) {
+	g := Build(CheckedLatentCycle())
+	an := g.Analyze(Options{CountTotalCycles: true})
+	if len(an.Deadlocks) != 0 {
+		t.Fatalf("latent state reported as deadlock: %+v (the knot has not formed yet)", an.Deadlocks)
+	}
+	if an.BlockedMessages != 2 {
+		t.Errorf("blocked = %d, want 2", an.BlockedMessages)
+	}
+	if an.TotalCycles != 0 {
+		t.Errorf("total cycles = %d; the latent wait chain must be acyclic", an.TotalCycles)
+	}
+}
+
+func TestCheckedTransientBlock(t *testing.T) {
+	g := Build(CheckedTransientBlock())
+	an := g.Analyze(Options{CountTotalCycles: true})
+	if len(an.Deadlocks) != 0 {
+		t.Fatalf("transient block reported as deadlock: %+v", an.Deadlocks)
+	}
+	if an.BlockedMessages != 1 {
+		t.Errorf("blocked = %d, want 1", an.BlockedMessages)
+	}
+}
+
 func TestSelfLoopKnot(t *testing.T) {
 	// A vertex waiting on itself (possible only under nonminimal routing)
 	// is a knot of one vertex.

@@ -81,6 +81,61 @@ func PaperFig4() []Msg {
 	return msgs
 }
 
+// The Checked* scenarios below are flexcheck-derived goldens: canonical
+// states enumerated (and, where deadlocked, minimized) by the
+// internal/modelcheck bounded-exhaustive explorer on tiny ring
+// configurations, frozen here with the real network's VC numbering. For a
+// k-node unidirectional ring with one VC, VC i is channel i (node i ->
+// node i+1 mod k) and VC k+i is node i's injection channel. Ground truth
+// for each comes from the explorer's liveness DP, not from intuition.
+
+// CheckedRingKnot is the minimized exemplar of configuration
+// ring-uni-k3-vc1-dor-m3-l2-b1 (flexcheck): the smallest true deadlock the
+// model checker reaches. Three 2-flit messages on a 3-node unidirectional
+// ring each hold their injection VC plus one ring channel and wait for the
+// channel the next message holds. The knot is the three ring channels
+// {0,1,2}, deadlock set {0,1,2}, resource set 6 VCs (the injection VCs ride
+// along), knot cycle density 1. Ground truth: stuck mask 0x7.
+func CheckedRingKnot() []Msg {
+	return []Msg{
+		{ID: 0, Owned: vcs(3, 0), Blocked: true, Wants: vcs(1)},
+		{ID: 1, Owned: vcs(4, 1), Blocked: true, Wants: vcs(2)},
+		{ID: 2, Owned: vcs(5, 2), Blocked: true, Wants: vcs(0)},
+	}
+}
+
+// CheckedLatentCycle is a flexcheck-enumerated predecessor of
+// CheckedRingKnot's deadlock, found while investigating apparent
+// completeness divergences: message 0 has been granted ring channel 0 but
+// its header is still in the injection buffer, so it is not yet blocked —
+// while messages 1 and 2 are already blocked and, by the explorer's
+// liveness DP, already doomed (every continuation deadlocks). The dashed
+// chain 1 -> 2 -> 0 dead-ends at channel 0, whose owner is advancing, so
+// there is NO knot: the deadlock is inevitable but has not finished
+// forming. A state-predicate detector must stay quiet here and report a
+// few moves later; this golden pins the "latent state" semantics.
+func CheckedLatentCycle() []Msg {
+	return []Msg{
+		{ID: 0, Owned: vcs(3, 0)}, // header mid-advance: not blocked
+		{ID: 1, Owned: vcs(4, 1), Blocked: true, Wants: vcs(2)},
+		{ID: 2, Owned: vcs(5, 2), Blocked: true, Wants: vcs(0)},
+	}
+}
+
+// CheckedTransientBlock is a flexcheck-enumerated state of the k=2
+// negative-control configuration ring-uni-k2-vc1-dor-m2-l2-b1 (VC 0/1 are
+// the two ring channels, VCs 2/3 the injection channels). Message 0 holds
+// channel 0 with its header already at the destination (ejecting); message
+// 1 waits for channel 0. The wait is transient — ground truth proves both
+// messages live — and the CWG has no cycle at all. The detector must
+// report nothing: blocked is not deadlocked.
+func CheckedTransientBlock() []Msg {
+	return []Msg{
+		{ID: 0, Owned: vcs(2, 0)}, // at destination, draining
+		{ID: 1, Owned: vcs(3), Blocked: true, Wants: vcs(0)},
+	}
+}
+
 func vcs(ids ...int32) []message.VC {
 	out := make([]message.VC, len(ids))
 	for i, id := range ids {

@@ -252,23 +252,57 @@ type Detector struct {
 	lastAnalysis cwg.Analysis
 }
 
-// New builds a detector for net. A zero Every defaults to the paper's 50
-// cycles; Recover must be set explicitly (NewDefault applies the full set of
-// paper defaults).
-func New(net *network.Network, cfg Config) *Detector {
+// Validate checks the configuration for values that would make the detector
+// misbehave silently: a non-positive period (Tick would divide by zero or
+// detect every cycle a caller never asked for), an unknown victim policy,
+// negative enumeration caps, and non-positive timeout thresholds (a
+// threshold of zero flags every blocked message on sight, which is never
+// what the approximation study means).
+func (cfg Config) Validate() error {
 	if cfg.Every <= 0 {
-		cfg.Every = 50
+		return fmt.Errorf("detect: Every must be a positive cycle period, got %d (the paper uses 50)", cfg.Every)
+	}
+	switch cfg.Policy {
+	case OldestBlocked, MostResources, FewestResources, RandomVictim:
+	default:
+		return fmt.Errorf("detect: unknown victim policy %d (valid: %s)",
+			cfg.Policy, strings.Join(PolicyNames, "|"))
+	}
+	if cfg.MaxCycles < 0 {
+		return fmt.Errorf("detect: MaxCycles must be >= 0 (0 means the cwg default), got %d", cfg.MaxCycles)
+	}
+	if cfg.MaxWork < 0 {
+		return fmt.Errorf("detect: MaxWork must be >= 0 (0 means the cwg default), got %d", cfg.MaxWork)
+	}
+	for i, th := range cfg.TimeoutThresholds {
+		if th <= 0 {
+			return fmt.Errorf("detect: TimeoutThresholds[%d] = %d; thresholds are blocked-duration cutoffs in cycles and must be >= 1", i, th)
+		}
+	}
+	return nil
+}
+
+// New builds a detector for net, rejecting invalid configurations (see
+// Config.Validate). Recover must be set explicitly (NewDefault applies the
+// full set of paper defaults).
+func New(net *network.Network, cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	d := &Detector{cfg: cfg, net: net, r: rng.New(cfg.Seed ^ 0xdeadbeefcafe)}
 	d.Stats.growTiming()
-	return d
+	return d, nil
 }
 
 // NewDefault builds a detector with the paper's defaults: invoke every 50
 // cycles, recover by absorbing the longest-blocked deadlock-set message,
 // count knot cycle densities.
 func NewDefault(net *network.Network) *Detector {
-	return New(net, Config{Every: 50, Policy: OldestBlocked, Recover: true, CountKnotCycles: true})
+	d, err := New(net, Config{Every: 50, Policy: OldestBlocked, Recover: true, CountKnotCycles: true})
+	if err != nil {
+		panic(err) // the default configuration is statically valid
+	}
+	return d
 }
 
 // Config returns the detector configuration.

@@ -69,7 +69,7 @@ func TestParsePolicy(t *testing.T) {
 
 func TestDetectorFindsPlantedDeadlock(t *testing.T) {
 	n := ringNet(t)
-	d := New(n, Config{Every: 50, Policy: OldestBlocked, Recover: false,
+	d := mustNew(t, n, Config{Every: 50, Policy: OldestBlocked, Recover: false,
 		CountKnotCycles: true, KeepEvents: true})
 	an := d.DetectNow()
 	if len(an.Deadlocks) != 1 {
@@ -88,7 +88,7 @@ func TestDetectorFindsPlantedDeadlock(t *testing.T) {
 
 func TestDetectorRecovers(t *testing.T) {
 	n := ringNet(t)
-	d := New(n, Config{Every: 50, Policy: OldestBlocked, Recover: true,
+	d := mustNew(t, n, Config{Every: 50, Policy: OldestBlocked, Recover: true,
 		CountKnotCycles: true, KeepEvents: true})
 	an := d.DetectNow()
 	if len(an.Deadlocks) != 1 {
@@ -141,7 +141,7 @@ func TestVictimPolicies(t *testing.T) {
 		return n
 	}
 	n := build()
-	det := New(n, Config{Every: 50, Policy: MostResources, Recover: false, KeepEvents: true})
+	det := mustNew(t, n, Config{Every: 50, Policy: MostResources, Recover: false, KeepEvents: true})
 	an := det.DetectNow()
 	if len(an.Deadlocks) == 0 {
 		t.Fatal("staggered scenario did not deadlock")
@@ -179,7 +179,7 @@ func TestVictimPolicies(t *testing.T) {
 
 func TestTickPeriod(t *testing.T) {
 	n := ringNet(t) // Now() == 20 after setup
-	d := New(n, Config{Every: 7, Recover: false})
+	d := mustNew(t, n, Config{Every: 7, Recover: false})
 	for i := 0; i < 70; i++ {
 		n.Step()
 		d.Tick()
@@ -198,7 +198,7 @@ func TestTickPeriod(t *testing.T) {
 
 func TestCensusSamples(t *testing.T) {
 	n := ringNet(t)
-	d := New(n, Config{Every: 50, Recover: false, CycleCensus: true})
+	d := mustNew(t, n, Config{Every: 50, Recover: false, CycleCensus: true})
 	d.DetectNow()
 	d.DetectNow()
 	if d.Stats.CensusSamples != 2 {
@@ -217,7 +217,7 @@ func TestCensusSamples(t *testing.T) {
 
 func TestResetStats(t *testing.T) {
 	n := ringNet(t)
-	d := New(n, Config{Every: 50, Recover: false, KeepEvents: true, CycleCensus: true})
+	d := mustNew(t, n, Config{Every: 50, Recover: false, KeepEvents: true, CycleCensus: true})
 	d.DetectNow()
 	if d.Stats.Deadlocks == 0 {
 		t.Fatal("setup found no deadlock")
@@ -232,7 +232,7 @@ func TestRecoveringMessageNotReblocked(t *testing.T) {
 	// After recovery starts, the same knot must not be re-detected: the
 	// victim's chain loses its dashed arcs.
 	n := ringNet(t)
-	d := New(n, Config{Every: 50, Policy: OldestBlocked, Recover: true})
+	d := mustNew(t, n, Config{Every: 50, Policy: OldestBlocked, Recover: true})
 	d.DetectNow()
 	if d.Stats.Deadlocks != 1 {
 		t.Fatal("first pass found no deadlock")
@@ -261,7 +261,7 @@ func TestSnapshotSkipsResourceless(t *testing.T) {
 		t.Fatal(err)
 	}
 	n.Inject(0, 2, 8)
-	d := New(n, Config{Every: 50})
+	d := mustNew(t, n, Config{Every: 50})
 	if snap := d.Snapshot(); len(snap) != 0 {
 		t.Fatalf("queued-only network produced snapshot of %d", len(snap))
 	}
@@ -294,7 +294,7 @@ func (c *captureObserver) ObserveDeadlock(o Observation) {
 func TestObserverNotified(t *testing.T) {
 	n := ringNet(t)
 	cap := &captureObserver{}
-	d := New(n, Config{Every: 50, Policy: OldestBlocked, Recover: true,
+	d := mustNew(t, n, Config{Every: 50, Policy: OldestBlocked, Recover: true,
 		CountKnotCycles: true, Observer: cap, SnapshotDOT: true})
 	d.DetectNow()
 	if len(cap.obs) != 1 {
@@ -318,7 +318,7 @@ func TestObserverNotified(t *testing.T) {
 func TestObserverVictimWithoutRecovery(t *testing.T) {
 	n := ringNet(t)
 	cap := &captureObserver{}
-	d := New(n, Config{Every: 50, Recover: false, Observer: cap})
+	d := mustNew(t, n, Config{Every: 50, Recover: false, Observer: cap})
 	d.DetectNow()
 	if len(cap.obs) != 1 {
 		t.Fatalf("observer called %d times, want 1", len(cap.obs))
@@ -333,7 +333,7 @@ func TestObserverVictimWithoutRecovery(t *testing.T) {
 
 func TestPassTimingRecorded(t *testing.T) {
 	n := ringNet(t)
-	d := New(n, Config{Every: 50, Recover: false})
+	d := mustNew(t, n, Config{Every: 50, Recover: false})
 	d.DetectNow()
 	if d.Stats.BuildTime.Count() != 1 || d.Stats.AnalyzeTime.Count() != 1 {
 		t.Fatalf("timing counts = %d/%d, want 1/1",
@@ -362,7 +362,7 @@ func (f observerFunc) ObserveDeadlock(o Observation) { f(o) }
 func TestOnPassFullReport(t *testing.T) {
 	n := ringNet(t)
 	var passes []PassInfo
-	d := New(n, Config{Every: 50, Recover: false,
+	d := mustNew(t, n, Config{Every: 50, Recover: false,
 		OnPass: func(p PassInfo) { passes = append(passes, p) }})
 	d.DetectNow()
 	if len(passes) != 1 {
@@ -389,7 +389,7 @@ func TestOnPassGated(t *testing.T) {
 		t.Fatal(err)
 	}
 	var passes []PassInfo
-	d := New(n, Config{Every: 50, Recover: true,
+	d := mustNew(t, n, Config{Every: 50, Recover: true,
 		OnPass: func(p PassInfo) { passes = append(passes, p) }})
 	d.DetectNow() // full, clean: arms the gate
 	d.DetectNow() // epoch unchanged: gated
@@ -413,7 +413,7 @@ func TestOnPassGated(t *testing.T) {
 func TestObserverSeesPreRecoveryState(t *testing.T) {
 	n := ringNet(t)
 	var victim message.ID = -1
-	d := New(n, Config{Every: 50, Recover: true,
+	d := mustNew(t, n, Config{Every: 50, Recover: true,
 		Observer: observerFunc(func(o Observation) {
 			victim = o.Victim
 			for _, m := range n.ActiveMessages() {

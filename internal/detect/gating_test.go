@@ -33,7 +33,7 @@ func quietNet(t *testing.T) *network.Network {
 
 func TestGatedPassSkipsRebuild(t *testing.T) {
 	n := quietNet(t)
-	d := New(n, Config{Every: 50, Recover: true, CountKnotCycles: true})
+	d := mustNew(t, n, Config{Every: 50, Recover: true, CountKnotCycles: true})
 
 	an := d.DetectNow()
 	if len(an.Deadlocks) != 0 {
@@ -76,7 +76,7 @@ func TestGatedPassSkipsRebuild(t *testing.T) {
 
 func TestGateInvalidateForcesFullPass(t *testing.T) {
 	n := quietNet(t)
-	d := New(n, Config{Every: 50, Recover: true})
+	d := mustNew(t, n, Config{Every: 50, Recover: true})
 	d.DetectNow()
 	d.Invalidate()
 	d.DetectNow()
@@ -91,7 +91,7 @@ func TestGatingDisabledUnderCensusAndTimeouts(t *testing.T) {
 		"timeouts": {Every: 50, TimeoutThresholds: []int64{10}},
 	} {
 		n := quietNet(t)
-		d := New(n, cfg)
+		d := mustNew(t, n, cfg)
 		d.DetectNow()
 		d.DetectNow()
 		if d.Stats.Gated != 0 {
@@ -105,7 +105,7 @@ func TestGatingDisabledUnderCensusAndTimeouts(t *testing.T) {
 // never arm the gate, even though the wedged network's epoch is frozen.
 func TestGateNeverSkipsStandingDeadlock(t *testing.T) {
 	n := ringNet(t)
-	d := New(n, Config{Every: 50, Recover: false})
+	d := mustNew(t, n, Config{Every: 50, Recover: false})
 	first := d.DetectNow()
 	if len(first.Deadlocks) != 1 {
 		t.Fatalf("ring did not deadlock: %+v", first)

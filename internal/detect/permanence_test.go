@@ -27,7 +27,7 @@ func TestDeadlockPermanence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := New(n, Config{Every: 50, Recover: false})
+	d := mustNew(t, n, Config{Every: 50, Recover: false})
 	r := rng.New(99)
 	prob := 1.0 * topo.CapacityPerNode() / 32
 
@@ -104,7 +104,7 @@ func TestKnotsDisjoint(t *testing.T) {
 		if n.Now()%50 != 0 {
 			continue
 		}
-		d := New(n, Config{Every: 50, Recover: false})
+		d := mustNew(t, n, Config{Every: 50, Recover: false})
 		g := cwg.Build(d.Snapshot())
 		seen := map[message.VC]bool{}
 		for _, knot := range g.FindKnots() {

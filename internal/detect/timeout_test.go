@@ -48,7 +48,7 @@ func TestTimeoutAgainstPlantedDeadlock(t *testing.T) {
 	for i := 0; i < 15; i++ {
 		n.Step()
 	}
-	d := New(n, Config{
+	d := mustNew(t, n, Config{
 		Every: 50, Recover: false,
 		TimeoutThresholds: []int64{10, 1000},
 	})
@@ -87,7 +87,7 @@ func TestTimeoutAgainstPlantedDeadlock(t *testing.T) {
 
 func TestTimeoutDisabledByDefault(t *testing.T) {
 	n := ringNet(t)
-	d := New(n, Config{Every: 50})
+	d := mustNew(t, n, Config{Every: 50})
 	d.DetectNow()
 	if len(d.Stats.Timeout) != 0 {
 		t.Error("timeout stats populated without thresholds")
@@ -96,7 +96,7 @@ func TestTimeoutDisabledByDefault(t *testing.T) {
 
 func TestTimeoutAggregatesAcrossPasses(t *testing.T) {
 	n := ringNet(t)
-	d := New(n, Config{Every: 50, TimeoutThresholds: []int64{1}})
+	d := mustNew(t, n, Config{Every: 50, TimeoutThresholds: []int64{1}})
 	d.DetectNow()
 	first := d.Stats.Timeout[0].Flagged
 	d.DetectNow()

@@ -1,0 +1,91 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+
+	"flexsim/internal/network"
+)
+
+// mustNew constructs a detector from a config that is expected to be valid.
+func mustNew(t *testing.T, n *network.Network, cfg Config) *Detector {
+	t.Helper()
+	d, err := New(n, cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return d
+}
+
+// TestConfigValidate exercises every invalid field rejection with its own
+// case, and checks the error messages say which field is wrong and why.
+func TestConfigValidate(t *testing.T) {
+	valid := Config{Every: 50}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring the error must contain
+	}{
+		{
+			name: "zero Every",
+			cfg:  Config{Every: 0},
+			want: "Every",
+		},
+		{
+			name: "negative Every",
+			cfg:  Config{Every: -7},
+			want: "Every",
+		},
+		{
+			name: "unknown policy",
+			cfg:  Config{Every: 50, Policy: VictimPolicy(99)},
+			want: "policy",
+		},
+		{
+			name: "negative MaxCycles",
+			cfg:  Config{Every: 50, MaxCycles: -1},
+			want: "MaxCycles",
+		},
+		{
+			name: "negative MaxWork",
+			cfg:  Config{Every: 50, MaxWork: -5},
+			want: "MaxWork",
+		},
+		{
+			name: "zero timeout threshold",
+			cfg:  Config{Every: 50, TimeoutThresholds: []int64{100, 0}},
+			want: "TimeoutThresholds",
+		},
+		{
+			name: "negative timeout threshold",
+			cfg:  Config{Every: 50, TimeoutThresholds: []int64{-3}},
+			want: "TimeoutThresholds",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate(%+v) accepted an invalid config", tc.cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestNewRejectsInvalidConfig checks the constructor path surfaces the same
+// validation instead of silently defaulting.
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	n := ringNet(t)
+	if _, err := New(n, Config{}); err == nil {
+		t.Fatal("New accepted a zero-period config; the old behavior silently defaulted Every to 50")
+	}
+	if _, err := New(n, Config{Every: 50, MaxCycles: -1}); err == nil {
+		t.Fatal("New accepted a negative MaxCycles")
+	}
+}

@@ -192,6 +192,7 @@ var registry = map[string]Func{
 	"irregular": IrregularStudy,
 	"program":   ProgramDriven,
 	"faulty":    FaultStudy,
+	"verify":    Verify,
 }
 
 // ByName returns the experiment registered under id.

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"flexsim/internal/modelcheck"
+)
+
+func TestVerifyShape(t *testing.T) {
+	tables := runExperiment(t, "verify")
+	if len(tables) != 2 {
+		t.Fatalf("verify produced %d tables, want envelope + timeout", len(tables))
+	}
+	envelope, timeout := tables[0], tables[1]
+	if got, want := len(envelope.Rows), len(modelcheck.ShortGrid()); got != want {
+		t.Errorf("envelope has %d rows, want one per short-grid config (%d)", got, want)
+	}
+	verified := false
+	for _, n := range envelope.Notes {
+		if strings.Contains(n, "VERIFIED") {
+			verified = true
+		}
+	}
+	if !verified {
+		t.Errorf("quick verify run did not report zero divergences: notes %v", envelope.Notes)
+	}
+	if len(timeout.Rows) == 0 {
+		t.Error("timeout cross-validation table is empty")
+	}
+}

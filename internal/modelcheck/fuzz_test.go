@@ -1,0 +1,57 @@
+package modelcheck
+
+import (
+	"testing"
+)
+
+// FuzzModelCheck drives randomized tiny configurations through the full
+// pipeline — exploration, ground-truth DPs, detector comparison — and fails
+// on any soundness or completeness divergence, exploration error (back
+// edge, engine invariant rejection) or checker crash. The state cap is kept
+// small so each execution stays fast; truncated runs still exercise the
+// soundness direction everywhere and completeness on complete states.
+func FuzzModelCheck(f *testing.F) {
+	f.Add(uint8(0), uint8(3), uint8(0), uint8(0), uint8(3), uint8(2), uint8(1))
+	f.Add(uint8(1), uint8(3), uint8(1), uint8(1), uint8(2), uint8(2), uint8(1))
+	f.Add(uint8(2), uint8(4), uint8(0), uint8(1), uint8(2), uint8(3), uint8(2))
+	f.Add(uint8(0), uint8(4), uint8(1), uint8(2), uint8(3), uint8(2), uint8(1))
+	f.Add(uint8(1), uint8(2), uint8(1), uint8(2), uint8(2), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, topoSel, k, vcSel, rtSel, msgs, msgLen, depth uint8) {
+		topos := [...]string{"ring-uni", "ring-bi", "line"}
+		cfg := Config{
+			Topology:    topos[int(topoSel)%len(topos)],
+			K:           2 + int(k)%3,
+			VCs:         1 + int(vcSel)%2,
+			Messages:    1 + int(msgs)%3,
+			MsgLen:      1 + int(msgLen)%3,
+			BufferDepth: 1 + int(depth)%2,
+		}
+		// dateline-dor needs 2 VCs; keep every generated config valid.
+		switch int(rtSel) % 3 {
+		case 0:
+			cfg.Routing = "dor"
+		case 1:
+			cfg.Routing = "tfar"
+		default:
+			cfg.Routing = "dateline-dor"
+			cfg.VCs = 2
+		}
+		res, err := Run(cfg, Options{
+			MaxStates:      4000,
+			MinimizeStates: 2000,
+			NoExemplars:    true,
+			MaxDivergences: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		if res.SoundnessDivergences != 0 {
+			t.Fatalf("%s: %d soundness divergences: %+v",
+				cfg.Name(), res.SoundnessDivergences, res.Divergences)
+		}
+		if res.CompletenessDivergences != 0 {
+			t.Fatalf("%s: %d completeness divergences: %+v",
+				cfg.Name(), res.CompletenessDivergences, res.Divergences)
+		}
+	})
+}

@@ -377,7 +377,10 @@ func NewRunner(c Config) (*Runner, error) {
 			spans.DetectorPass(p.Cycle, p.BuildNs, p.AnalyzeNs, p.Deadlocks, p.Gated)
 		}
 	}
-	det := detect.New(net, dcfg)
+	det, err := detect.New(net, dcfg)
+	if err != nil {
+		return nil, err
+	}
 	r := &Runner{
 		Cfg:      c,
 		Topo:     topo,
