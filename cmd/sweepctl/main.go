@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -104,6 +105,21 @@ func summary(st *specv1.SweepStatus) string {
 	if st.Running > 0 || st.Pending > 0 {
 		line += fmt.Sprintf(" (%d running, %d pending)", st.Running, st.Pending)
 	}
+	if len(st.RetryCauses) > 0 {
+		causes := make([]string, 0, len(st.RetryCauses))
+		for c := range st.RetryCauses {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		parts := make([]string, len(causes))
+		for i, c := range causes {
+			parts[i] = fmt.Sprintf("%s:%d", c, st.RetryCauses[c])
+		}
+		line += " [retries " + strings.Join(parts, " ") + "]"
+	}
+	if st.Stolen > 0 {
+		line += fmt.Sprintf(" [%d stolen]", st.Stolen)
+	}
 	return line
 }
 
@@ -120,6 +136,7 @@ func cmdSubmit(args []string) error {
 	server := bindClient(fs)
 	file := fs.String("f", "-", "sweep spec file (specv1 JSON; - = stdin)")
 	watch := fs.Bool("watch", false, "follow the sweep's event stream until it settles")
+	asJSON := fs.Bool("json", false, "with -watch: print raw specv1 event JSON, one object per line")
 	fs.Parse(args)
 
 	in := io.Reader(os.Stdin)
@@ -146,7 +163,7 @@ func cmdSubmit(args []string) error {
 		return nil
 	}
 	if st.State != specv1.SweepDone {
-		if err := watchSweep(ctx, c, st.ID); err != nil {
+		if err := watchSweep(ctx, c, st.ID, *asJSON); err != nil {
 			return err
 		}
 	}
@@ -189,13 +206,14 @@ func cmdResults(args []string) error {
 func cmdWatch(args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	server := bindClient(fs)
+	asJSON := fs.Bool("json", false, "print raw specv1 event JSON, one object per line")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: sweepctl watch [-server URL] <sweep-id>")
+		return fmt.Errorf("usage: sweepctl watch [-server URL] [-json] <sweep-id>")
 	}
 	c := client(*server)
 	ctx := context.Background()
-	if err := watchSweep(ctx, c, fs.Arg(0)); err != nil {
+	if err := watchSweep(ctx, c, fs.Arg(0), *asJSON); err != nil {
 		return err
 	}
 	st, err := c.Status(ctx, fs.Arg(0))
@@ -205,10 +223,16 @@ func cmdWatch(args []string) error {
 	return failExit(st)
 }
 
-// watchSweep follows one sweep's SSE stream, printing point settlements and
-// the final summary; it returns when the terminal done event arrives.
-func watchSweep(ctx context.Context, c *sweepsvc.Client, id string) error {
+// watchSweep follows one sweep's SSE stream, printing point settlements,
+// retries and steals (with their cause), and the final summary; it returns
+// when the terminal done event arrives. With asJSON the raw specv1 event
+// objects are printed one per line instead.
+func watchSweep(ctx context.Context, c *sweepsvc.Client, id string, asJSON bool) error {
+	enc := json.NewEncoder(os.Stdout)
 	return c.Watch(ctx, id, func(ev *specv1.Event) error {
+		if asJSON {
+			return enc.Encode(ev)
+		}
 		switch ev.Type {
 		case "point":
 			if p := ev.Point; p != nil {
@@ -223,6 +247,14 @@ func watchSweep(ctx context.Context, c *sweepsvc.Client, id string) error {
 					line += ": " + p.Error
 				}
 				fmt.Println(line)
+			}
+		case "retry":
+			if p := ev.Point; p != nil {
+				fmt.Printf("  point %d retry (attempt %d, cause %s)\n", p.Index, p.Attempts, ev.Cause)
+			}
+		case "steal":
+			if p := ev.Point; p != nil {
+				fmt.Printf("  point %d stolen by %s (from %s)\n", p.Index, p.Worker, ev.Cause)
 			}
 		case "done":
 			if ev.Stat != nil {

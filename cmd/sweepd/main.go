@@ -23,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -30,6 +31,7 @@ import (
 
 	"flexsim/cmd/internal/flags"
 	"flexsim/internal/obs"
+	"flexsim/internal/obs/fleettrace"
 	"flexsim/internal/runner"
 	"flexsim/internal/sweepsvc"
 )
@@ -51,6 +53,9 @@ func run() int {
 		pointTO     = flag.Duration("point-timeout", 0, "per-point execution timeout (0 = unbounded)")
 		healthEvery = flag.Duration("health-every", 0, "poll period when gating an unhealthy fleet worker on /healthz (0 = 250ms)")
 		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "grace for in-flight points when draining on SIGINT/SIGTERM")
+		fleetSpans  = flag.String("fleet-spans", "", "coordinator: append the fleet span log (scheduler JSONL, one record per point transition) to this file")
+		fleetPerf   = flag.String("fleet-perfetto", "", "coordinator: write the fleet Perfetto timeline (one thread per worker, one slice per attempt) here at drain")
+		spansOut    = flag.String("spans-out", "", "worker: per-run Perfetto timeline path (\"*\" expands to <label>-s<seed>-l<load>)")
 	)
 	flag.Parse()
 
@@ -69,7 +74,7 @@ func run() int {
 	}
 
 	if *worker {
-		wk := &sweepsvc.Worker{Name: *name, Cache: cache}
+		wk := &sweepsvc.Worker{Name: *name, Cache: cache, SpansPath: *spansOut}
 		srv, err := obs.Serve(*httpAddr, obs.WithHandler("/api/v1/", wk.Handler()))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweepd:", err)
@@ -100,6 +105,22 @@ func run() int {
 		}
 	}
 
+	// Fleet tracing and scheduler telemetry are always collected on the
+	// coordinator; the span-log JSONL and Perfetto timeline are written only
+	// when their flags name a destination.
+	var spansFile *os.File
+	if *fleetSpans != "" {
+		f, err := os.OpenFile(*fleetSpans, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweepd:", err)
+			return 1
+		}
+		spansFile = f
+		defer spansFile.Close()
+	}
+	fleetLog := fleettrace.NewLog(spansFile)
+	fleetMetrics := obs.NewFleetMetrics()
+
 	progress := obs.NewSweepProgress(nil)
 	svc, err := sweepsvc.New(sweepsvc.Config{
 		Cache:        cache,
@@ -110,6 +131,8 @@ func run() int {
 		PointTimeout: *pointTO,
 		HealthEvery:  *healthEvery,
 		Progress:     progress,
+		Trace:        fleetLog,
+		Metrics:      fleetMetrics,
 		Logf:         logf,
 	})
 	if err != nil {
@@ -117,7 +140,17 @@ func run() int {
 		return 1
 	}
 
-	srv, err := obs.Serve(*httpAddr, obs.WithSweep(progress), obs.WithHandler("/api/v1/", svc.APIHandler()))
+	health := func(w io.Writer) {
+		jp := journalPath
+		if jp == "" {
+			jp = "(disabled)"
+		}
+		sweeps, settled, requeued := svc.ReplayStatus()
+		fmt.Fprintf(w, "journal: %s\nreplay: %d sweep(s), %d settled, %d requeued\n", jp, sweeps, settled, requeued)
+	}
+	srv, err := obs.Serve(*httpAddr,
+		obs.WithSweep(progress), obs.WithFleet(fleetMetrics), obs.WithHealth(health),
+		obs.WithHandler("/api/v1/", svc.APIHandler()))
 	if err != nil {
 		svc.Close()
 		fmt.Fprintln(os.Stderr, "sweepd:", err)
@@ -141,5 +174,24 @@ func run() int {
 	logf("draining (grace %v)...", *drainGrace)
 	svc.Drain(*drainGrace)
 	logf("drained")
+	if err := fleetLog.Err(); err != nil {
+		logf("fleet span log: %v", err)
+	}
+	if *fleetPerf != "" {
+		f, err := os.Create(*fleetPerf)
+		if err != nil {
+			logf("fleet perfetto: %v", err)
+			return 1
+		}
+		werr := fleetLog.WritePerfetto(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			logf("fleet perfetto: %v", werr)
+			return 1
+		}
+		logf("fleet timeline written to %s", *fleetPerf)
+	}
 	return 0
 }

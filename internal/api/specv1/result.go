@@ -23,6 +23,10 @@ const (
 	StatusFailed Status = "failed"
 	// StatusCancelled: the run was interrupted or never started.
 	StatusCancelled Status = "cancelled"
+	// StatusRetrying: a non-terminal event-stream-only status — the point's
+	// attempt failed retryably and the point is back in the queue. Never
+	// appears in stored or listed results.
+	StatusRetrying Status = "retrying"
 )
 
 // PointResult is one settled sweep point. Result holds the simulator's
@@ -41,9 +45,12 @@ type PointResult struct {
 	Worker string `json:"worker,omitempty"`
 	// Attempts counts executions scheduled for this point (> 1 after a
 	// retry on worker death).
-	Attempts int             `json:"attempts,omitempty"`
-	Error    string          `json:"error,omitempty"`
-	Result   json.RawMessage `json:"result,omitempty"`
+	Attempts int `json:"attempts,omitempty"`
+	// Trace is the point's fleet trace context in W3C traceparent form
+	// (root span of the point; "" when fleet tracing is off).
+	Trace  string          `json:"trace,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
 }
 
 // EncodeResult produces the canonical wire encoding of a simulation result:
@@ -109,6 +116,10 @@ type RunRequest struct {
 	// TimeoutMS bounds the run on the worker side (0 = the coordinator's
 	// HTTP context is the only bound).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace is the attempt's span context in W3C traceparent form, minted
+	// by the coordinator ("" when fleet tracing is off). Observability
+	// only: it never changes what the worker computes or the result key.
+	Trace string `json:"trace,omitempty"`
 }
 
 // DecodeRunRequest strictly decodes a worker run request.
@@ -131,9 +142,12 @@ type RunResponse struct {
 	Worker string `json:"worker,omitempty"`
 	// Persisted reports that the worker already appended the result to the
 	// shared store, so the coordinator must not append it again.
-	Persisted bool            `json:"persisted,omitempty"`
-	Error     string          `json:"error,omitempty"`
-	Result    json.RawMessage `json:"result,omitempty"`
+	Persisted bool `json:"persisted,omitempty"`
+	// Trace echoes the request's trace context, confirming which span the
+	// worker stamped into its artifacts.
+	Trace  string          `json:"trace,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
 }
 
 // DecodeRunResponse strictly decodes a worker run response.
@@ -175,6 +189,12 @@ type SweepStatus struct {
 	Pending       int        `json:"points_pending"`
 	// Retries counts point re-executions after worker failures.
 	Retries int `json:"retries,omitempty"`
+	// Stolen counts retried points picked up by a different worker than
+	// their previous attempt ran on.
+	Stolen int `json:"stolen,omitempty"`
+	// RetryCauses breaks Retries down by failure cause (worker-death, 5xx,
+	// panic, timeout).
+	RetryCauses map[string]int `json:"retry_causes,omitempty"`
 }
 
 // Settled returns the number of points that reached a final state.
@@ -189,12 +209,20 @@ type SweepList struct {
 // Event is one server-sent event on a sweep's event stream.
 type Event struct {
 	// Type is "point" (one point settled; Point is set, without its result
-	// payload), "progress" (Status is set), or "done" (final Status; the
-	// stream ends after it).
+	// payload), "retry" (an attempt failed retryably; Point carries status
+	// "retrying" and Cause the failure class), "steal" (a retried point was
+	// picked up by a different worker; Cause names the previous worker),
+	// "progress" (Status is set), or "done" (final Status; the stream ends
+	// after it).
 	Type  string       `json:"type"`
 	Sweep string       `json:"sweep"`
 	Point *PointResult `json:"point,omitempty"`
 	Stat  *SweepStatus `json:"status,omitempty"`
+	// Cause tags retry and steal events: the failure class (worker-death,
+	// 5xx, panic, timeout) for retries, the previous worker for steals.
+	Cause string `json:"cause,omitempty"`
+	// Trace is the affected attempt's span context in traceparent form.
+	Trace string `json:"trace,omitempty"`
 }
 
 // DecodeEvent strictly decodes one event payload.

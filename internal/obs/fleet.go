@@ -1,0 +1,211 @@
+package obs
+
+// Fleet scheduler telemetry: the sweep coordinator's live view of its work
+// queue and worker pool — queue depth, in-flight points, steals, retries by
+// cause, per-worker throughput and busy fraction, store hit ratio, and a
+// settled-point latency histogram — exposed as flexsweep_* gauges on the
+// shared /metrics endpoint. All mutators are called from coordinator worker
+// loops; readers (the Prometheus handler) snapshot under the same lock.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flexsim/internal/stats"
+)
+
+// fleetWorker accumulates one worker's contribution.
+type fleetWorker struct {
+	points int64
+	busyNS int64
+}
+
+// FleetMetrics is the coordinator's scheduler telemetry. The zero value is
+// not ready; use NewFleetMetrics.
+type FleetMetrics struct {
+	queueDepth atomic.Int64
+	inFlight   atomic.Int64
+	steals     atomic.Int64
+	done       atomic.Int64
+	cached     atomic.Int64
+	failed     atomic.Int64
+
+	mu      sync.Mutex
+	start   time.Time
+	retries map[string]int64
+	workers map[string]*fleetWorker
+	latency stats.Histogram // settled-point latency, milliseconds
+}
+
+// NewFleetMetrics returns scheduler telemetry anchored at now (busy
+// fractions and points/sec are measured against this epoch).
+func NewFleetMetrics() *FleetMetrics {
+	return &FleetMetrics{
+		start:   time.Now(),
+		retries: make(map[string]int64),
+		workers: make(map[string]*fleetWorker),
+	}
+}
+
+// QueueAdd moves the work-queue depth gauge (push +1, pop -1).
+func (m *FleetMetrics) QueueAdd(delta int) { m.queueDepth.Add(int64(delta)) }
+
+// QueueDepth returns the current work-queue depth.
+func (m *FleetMetrics) QueueDepth() int64 { return m.queueDepth.Load() }
+
+// RunStart marks one execution attempt entering a worker.
+func (m *FleetMetrics) RunStart(worker string) { m.inFlight.Add(1) }
+
+// RunEnd marks the attempt leaving the worker after busy wall time.
+func (m *FleetMetrics) RunEnd(worker string, busy time.Duration) {
+	m.inFlight.Add(-1)
+	m.mu.Lock()
+	w := m.workers[worker]
+	if w == nil {
+		w = &fleetWorker{}
+		m.workers[worker] = w
+	}
+	w.points++
+	w.busyNS += busy.Nanoseconds()
+	m.mu.Unlock()
+}
+
+// InFlight returns the number of attempts currently executing.
+func (m *FleetMetrics) InFlight() int64 { return m.inFlight.Load() }
+
+// Retry counts one point re-execution by failure cause (worker-death, 5xx,
+// panic, timeout).
+func (m *FleetMetrics) Retry(cause string) {
+	m.mu.Lock()
+	m.retries[cause]++
+	m.mu.Unlock()
+}
+
+// Retries returns a copy of the per-cause retry counters.
+func (m *FleetMetrics) Retries() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.retries))
+	for c, n := range m.retries {
+		out[c] = n
+	}
+	return out
+}
+
+// Steal counts one point picked up by a different worker than its previous
+// attempt ran on.
+func (m *FleetMetrics) Steal() { m.steals.Add(1) }
+
+// Steals returns the steal counter.
+func (m *FleetMetrics) Steals() int64 { return m.steals.Load() }
+
+// PointSettled counts one point reaching a terminal state, with its
+// queue-to-settle latency.
+func (m *FleetMetrics) PointSettled(status string, latency time.Duration) {
+	switch status {
+	case "cached":
+		m.cached.Add(1)
+	case "failed", "cancelled":
+		m.failed.Add(1)
+	default:
+		m.done.Add(1)
+	}
+	m.mu.Lock()
+	m.latency.Observe(latency.Milliseconds())
+	m.mu.Unlock()
+}
+
+// Settled returns the terminal-state counters (done, cached, failed).
+func (m *FleetMetrics) Settled() (done, cached, failed int64) {
+	return m.done.Load(), m.cached.Load(), m.failed.Load()
+}
+
+// HitRatio returns the store hit ratio: cached / settled (0 when nothing
+// has settled).
+func (m *FleetMetrics) HitRatio() float64 {
+	done, cached, failed := m.Settled()
+	total := done + cached + failed
+	if total == 0 {
+		return 0
+	}
+	return float64(cached) / float64(total)
+}
+
+// WritePrometheus renders the fleet gauges in Prometheus text format, with
+// label sets in sorted order so the exposition is deterministic.
+func (m *FleetMetrics) WritePrometheus(w io.Writer) error {
+	done, cached, failed := m.Settled()
+	if _, err := fmt.Fprintf(w,
+		"# HELP flexsweep_queue_depth Points waiting in the coordinator work queue.\n# TYPE flexsweep_queue_depth gauge\nflexsweep_queue_depth %d\n"+
+			"# HELP flexsweep_inflight Point attempts currently executing on workers.\n# TYPE flexsweep_inflight gauge\nflexsweep_inflight %d\n"+
+			"# HELP flexsweep_steals_total Points picked up by a different worker than their previous attempt.\n# TYPE flexsweep_steals_total counter\nflexsweep_steals_total %d\n"+
+			"# HELP flexsweep_points_total Points settled, by terminal status.\n# TYPE flexsweep_points_total counter\n"+
+			"flexsweep_points_total{status=\"cached\"} %d\nflexsweep_points_total{status=\"done\"} %d\nflexsweep_points_total{status=\"failed\"} %d\n"+
+			"# HELP flexsweep_store_hit_ratio Fraction of settled points served from the shared store.\n# TYPE flexsweep_store_hit_ratio gauge\nflexsweep_store_hit_ratio %.6f\n",
+		m.QueueDepth(), m.InFlight(), m.Steals(), cached, done, failed, m.HitRatio()); err != nil {
+		return err
+	}
+
+	m.mu.Lock()
+	causes := make([]string, 0, len(m.retries))
+	for c := range m.retries {
+		causes = append(causes, c)
+	}
+	sort.Strings(causes)
+	retryLines := make([]string, 0, len(causes))
+	for _, c := range causes {
+		retryLines = append(retryLines, fmt.Sprintf("flexsweep_retries_total{cause=%q} %d\n", c, m.retries[c]))
+	}
+	names := make([]string, 0, len(m.workers))
+	for n := range m.workers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	elapsed := time.Since(m.start)
+	workerLines := make([]string, 0, 3*len(names))
+	for _, n := range names {
+		wk := m.workers[n]
+		busyFrac, perSec := 0.0, 0.0
+		if elapsed > 0 {
+			busyFrac = float64(wk.busyNS) / float64(elapsed.Nanoseconds())
+			perSec = float64(wk.points) / elapsed.Seconds()
+		}
+		workerLines = append(workerLines,
+			fmt.Sprintf("flexsweep_worker_points_total{worker=%q} %d\n", n, wk.points),
+			fmt.Sprintf("flexsweep_worker_busy_fraction{worker=%q} %.6f\n", n, busyFrac),
+			fmt.Sprintf("flexsweep_worker_points_per_second{worker=%q} %.6f\n", n, perSec))
+	}
+	count, sum := m.latency.Count(), int64(float64(m.latency.Count())*m.latency.Mean())
+	p50, p95, p99 := m.latency.Quantile(0.50), m.latency.Quantile(0.95), m.latency.Quantile(0.99)
+	m.mu.Unlock()
+
+	if _, err := fmt.Fprintf(w, "# HELP flexsweep_retries_total Point re-executions, by failure cause.\n# TYPE flexsweep_retries_total counter\n"); err != nil {
+		return err
+	}
+	for _, line := range retryLines {
+		if _, err := io.WriteString(w, line); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP flexsweep_worker_points_total Points settled per worker.\n# TYPE flexsweep_worker_points_total counter\n"+
+			"# HELP flexsweep_worker_busy_fraction Fraction of wall time each worker spent executing.\n# TYPE flexsweep_worker_busy_fraction gauge\n"+
+			"# HELP flexsweep_worker_points_per_second Settled points per second per worker.\n# TYPE flexsweep_worker_points_per_second gauge\n"); err != nil {
+		return err
+	}
+	for _, line := range workerLines {
+		if _, err := io.WriteString(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w,
+		"# HELP flexsweep_point_latency_ms Queue-to-settle point latency in milliseconds.\n# TYPE flexsweep_point_latency_ms summary\n"+
+			"flexsweep_point_latency_ms{quantile=\"0.5\"} %d\nflexsweep_point_latency_ms{quantile=\"0.95\"} %d\nflexsweep_point_latency_ms{quantile=\"0.99\"} %d\n"+
+			"flexsweep_point_latency_ms_sum %d\nflexsweep_point_latency_ms_count %d\n",
+		p50, p95, p99, sum, count)
+	return err
+}

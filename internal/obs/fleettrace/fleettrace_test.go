@@ -1,0 +1,77 @@
+package fleettrace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMintDeterministic(t *testing.T) {
+	a, b := MintTraceID("s1-abcd"), MintTraceID("s1-abcd")
+	if a != b {
+		t.Fatalf("trace ID not deterministic: %s vs %s", a, b)
+	}
+	if len(a) != 32 || !isHex(a) {
+		t.Fatalf("trace ID %q: want 32 hex chars", a)
+	}
+	if MintTraceID("s2-abcd") == a {
+		t.Fatal("distinct sweeps share a trace ID")
+	}
+
+	s1, s2 := MintSpanID(a, 0, 0), MintSpanID(a, 0, 0)
+	if s1 != s2 {
+		t.Fatalf("span ID not deterministic: %s vs %s", s1, s2)
+	}
+	if len(s1) != 16 || !isHex(s1) {
+		t.Fatalf("span ID %q: want 16 hex chars", s1)
+	}
+	seen := map[string]bool{}
+	for point := 0; point < 3; point++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			id := MintSpanID(a, point, attempt)
+			if seen[id] {
+				t.Fatalf("span ID collision at point %d attempt %d", point, attempt)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	ctx := AttemptContext(MintTraceID("s1-abcd"), 3, 2)
+	tp := ctx.Traceparent()
+	if !strings.HasPrefix(tp, "00-") || !strings.HasSuffix(tp, "-01") {
+		t.Fatalf("traceparent %q: want version 00, sampled", tp)
+	}
+	got, err := Parse(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ctx {
+		t.Fatalf("round trip: %+v != %+v", got, ctx)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"00-abc",
+		"01-0123456789abcdef0123456789abcdef-0123456789abcdef-01", // wrong version
+		"00-0123456789abcdef0123456789abcdeX-0123456789abcdef-01", // bad trace hex
+		"00-0123456789abcdef0123456789abcdef-0123456789abcde-01",  // short span
+		"00-0123456789abcdef-0123456789abcdef-01",                 // short trace
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): want error", s)
+		}
+	}
+}
+
+func TestPointContextIsAttemptZero(t *testing.T) {
+	tr := MintTraceID("s9-ffff")
+	if PointContext(tr, 5).SpanID != MintSpanID(tr, 5, 0) {
+		t.Fatal("point root span is not attempt 0")
+	}
+	if PointContext(tr, 5).SpanID == AttemptContext(tr, 5, 1).SpanID {
+		t.Fatal("attempt 1 collides with the root span")
+	}
+}

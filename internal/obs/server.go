@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"time"
@@ -24,9 +25,11 @@ import (
 type ServerOption func(*serverConfig)
 
 type serverConfig struct {
-	live  *Live
-	sweep *SweepProgress
-	extra []route
+	live   *Live
+	sweep  *SweepProgress
+	fleet  *FleetMetrics
+	health func(io.Writer)
+	extra  []route
 }
 
 type route struct {
@@ -43,6 +46,19 @@ func WithLive(l *Live) ServerOption {
 // view on /progress.
 func WithSweep(p *SweepProgress) ServerOption {
 	return func(c *serverConfig) { c.sweep = p }
+}
+
+// WithFleet attaches fleet scheduler telemetry (flexsweep_* gauges) to
+// /metrics.
+func WithFleet(m *FleetMetrics) ServerOption {
+	return func(c *serverConfig) { c.fleet = m }
+}
+
+// WithHealth appends process-specific detail lines to /healthz after the
+// leading "ok" (e.g. the sweep coordinator's journal path and replay
+// status). Probes that only check the first line are unaffected.
+func WithHealth(info func(io.Writer)) ServerOption {
+	return func(c *serverConfig) { c.health = info }
 }
 
 // WithHandler mounts an additional handler on the mux (e.g. "/api/v1/").
@@ -66,6 +82,9 @@ func NewMux(opts ...ServerOption) *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+		if c.health != nil {
+			c.health(w)
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -76,6 +95,9 @@ func NewMux(opts ...ServerOption) *http.ServeMux {
 		}
 		if c.sweep != nil {
 			c.sweep.WritePrometheus(w)
+		}
+		if c.fleet != nil {
+			c.fleet.WritePrometheus(w)
 		}
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {

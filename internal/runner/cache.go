@@ -54,6 +54,7 @@ var nonSemantic = map[string]bool{
 	"ProfileEngine":  true,
 	"SpansPath":      true,
 	"HeatmapPath":    true,
+	"TraceContext":   true,
 }
 
 // CanonicalConfig returns the canonical JSON encoding of a configuration:

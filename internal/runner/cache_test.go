@@ -91,6 +91,7 @@ func TestKeyIgnoresObservability(t *testing.T) {
 	c.EngineSink = &obs.EngineProfile{}
 	c.SpansPath = "trace-*.json"
 	c.HeatmapPath = "heat-*.csv"
+	c.TraceContext = "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01"
 	if got := Key(c); got != want {
 		t.Errorf("observability fields changed the key: got %s, want %s", got, want)
 	}

@@ -182,6 +182,12 @@ type Config struct {
 	// heatmap and writes its CSV there when finished. "*" expands as in
 	// SpansPath. Observability-only: excluded from the cache key.
 	HeatmapPath string
+	// TraceContext, when nonempty, is the fleet span this run executes
+	// under (W3C traceparent form, minted by the sweep coordinator). It is
+	// stamped into the run's Perfetto artifact so per-run timelines join
+	// the coordinator's fleet timeline by trace and span ID.
+	// Observability-only: excluded from the cache key.
+	TraceContext string
 
 	// Label for result tables; defaults to "<routing><vcs>".
 	Label string
@@ -312,6 +318,11 @@ func NewRunner(c Config) (*Runner, error) {
 		})
 	}
 	tracer := c.Tracer
+	if c.Spans != nil && c.TraceContext != "" {
+		// Stamp the fleet span this run executes under, so the artifact is
+		// joinable to the coordinator's fleet timeline.
+		c.Spans.TraceContext(c.TraceContext)
+	}
 	if c.Spans != nil {
 		// Join the Perfetto writer into the fan-out without disturbing the
 		// caller's tracer.

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunTraceContextStamped: a run executing under a fleet trace context
+// stamps it into its Perfetto artifact as trace_context metadata, so the
+// per-run timeline joins the coordinator's fleet timeline.
+func TestRunTraceContextStamped(t *testing.T) {
+	dir := t.TempDir()
+	tp := "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01"
+	c := Quick()
+	c.SpansPath = filepath.Join(dir, "run.json")
+	c.TraceContext = tp
+	if _, err := Run(c); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "run.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("spans file is not a JSON array: %v", err)
+	}
+	for _, e := range events {
+		if e["name"] == "trace_context" {
+			args, _ := e["args"].(map[string]any)
+			if args["traceparent"] != tp {
+				t.Fatalf("trace_context args: %v", args)
+			}
+			return
+		}
+	}
+	t.Fatalf("no trace_context metadata in the artifact (%d events)", len(events))
+}
+
+// TestRunNoTraceContextNoStamp: without a trace context the artifact stays
+// byte-compatible with pre-tracing runs (no trace_context event).
+func TestRunNoTraceContextNoStamp(t *testing.T) {
+	dir := t.TempDir()
+	c := Quick()
+	c.SpansPath = filepath.Join(dir, "run.json")
+	if _, err := Run(c); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "run.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e["name"] == "trace_context" {
+			t.Fatal("trace_context stamped on an untraced run")
+		}
+	}
+}

@@ -33,7 +33,22 @@ type execResult struct {
 	// retryable: the failure is attributable to the executor (worker death,
 	// transport error, isolated panic) — re-run the point elsewhere.
 	retryable bool
+	// cause classifies a retryable failure for telemetry: "worker-death"
+	// (connection refused/reset, torn response), "5xx", "panic", "protocol"
+	// (an unrecognized wire status). The coordinator adds "timeout" itself
+	// when the per-point deadline fires.
+	cause string
 }
+
+// Retry causes, as tagged on retry events, span-log records and the
+// flexsweep_retries_total{cause=...} counter.
+const (
+	causeWorkerDeath = "worker-death"
+	cause5xx         = "5xx"
+	causePanic       = "panic"
+	causeTimeout     = "timeout"
+	causeProtocol    = "protocol"
+)
 
 // executor runs points and reports its health.
 type executor interface {
@@ -71,7 +86,11 @@ func (e *localExec) run(ctx context.Context, cfg sim.Config) execResult {
 		}
 		// An isolated panic mirrors a crashed fleet worker: retry the point.
 		var pe *runner.PanicError
-		return execResult{status: specv1.StatusFailed, err: p.Err, worker: e.id, retryable: errors.As(p.Err, &pe)}
+		r := execResult{status: specv1.StatusFailed, err: p.Err, worker: e.id, retryable: errors.As(p.Err, &pe)}
+		if r.retryable {
+			r.cause = causePanic
+		}
+		return r
 	}
 }
 
@@ -89,7 +108,7 @@ func newHTTPExec(base string, healthEvery time.Duration) *httpExec {
 func (e *httpExec) name() string { return e.base }
 
 func (e *httpExec) run(ctx context.Context, cfg sim.Config) execResult {
-	req := specv1.RunRequest{SchemaVersion: specv1.Version, Config: specv1.FromSim(cfg)}
+	req := specv1.RunRequest{SchemaVersion: specv1.Version, Config: specv1.FromSim(cfg), Trace: cfg.TraceContext}
 	if deadline, ok := ctx.Deadline(); ok {
 		req.TimeoutMS = time.Until(deadline).Milliseconds()
 	}
@@ -108,7 +127,7 @@ func (e *httpExec) run(ctx context.Context, cfg sim.Config) execResult {
 			return execResult{status: specv1.StatusCancelled, err: ctx.Err(), worker: e.base}
 		}
 		// Connection refused/reset: the worker process is gone or restarting.
-		return execResult{status: specv1.StatusFailed, err: fmt.Errorf("worker %s: %w", e.base, err), worker: e.base, retryable: true}
+		return execResult{status: specv1.StatusFailed, err: fmt.Errorf("worker %s: %w", e.base, err), worker: e.base, retryable: true, cause: causeWorkerDeath}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -116,7 +135,11 @@ func (e *httpExec) run(ctx context.Context, cfg sim.Config) execResult {
 		err := fmt.Errorf("worker %s: HTTP %d: %s", e.base, resp.StatusCode, bytes.TrimSpace(msg))
 		// 5xx: the worker refused or aborted the run; 4xx is a protocol bug
 		// that re-running elsewhere would repeat.
-		return execResult{status: specv1.StatusFailed, err: err, worker: e.base, retryable: resp.StatusCode >= 500}
+		r := execResult{status: specv1.StatusFailed, err: err, worker: e.base, retryable: resp.StatusCode >= 500}
+		if r.retryable {
+			r.cause = cause5xx
+		}
+		return r
 	}
 	wr, err := specv1.DecodeRunResponse(resp.Body)
 	if err != nil {
@@ -124,7 +147,7 @@ func (e *httpExec) run(ctx context.Context, cfg sim.Config) execResult {
 			return execResult{status: specv1.StatusCancelled, err: ctx.Err(), worker: e.base}
 		}
 		// A torn response body (worker killed mid-write) surfaces here.
-		return execResult{status: specv1.StatusFailed, err: fmt.Errorf("worker %s: %w", e.base, err), worker: e.base, retryable: true}
+		return execResult{status: specv1.StatusFailed, err: fmt.Errorf("worker %s: %w", e.base, err), worker: e.base, retryable: true, cause: causeWorkerDeath}
 	}
 	worker := wr.Worker
 	if worker == "" {
@@ -136,7 +159,7 @@ func (e *httpExec) run(ctx context.Context, cfg sim.Config) execResult {
 	case specv1.StatusDone, specv1.StatusCached:
 		return execResult{status: wr.Status, raw: wr.Result, worker: worker, persisted: wr.Persisted}
 	default:
-		return execResult{status: specv1.StatusFailed, err: fmt.Errorf("worker %s: unexpected status %q", e.base, wr.Status), worker: worker, retryable: true}
+		return execResult{status: specv1.StatusFailed, err: fmt.Errorf("worker %s: unexpected status %q", e.base, wr.Status), worker: worker, retryable: true, cause: causeProtocol}
 	}
 }
 

@@ -141,6 +141,11 @@ type Worker struct {
 	Cache *runner.Cache
 	// Run overrides the simulation executor (tests; nil = sim.RunContext).
 	Run RunFunc
+	// SpansPath, when nonempty, has every executed run write its own
+	// Perfetto timeline there (sim.Config.SpansPath semantics: "*" expands
+	// per run), stamped with the coordinator's trace context so per-run
+	// artifacts join the fleet timeline.
+	SpansPath string
 
 	executions atomic.Int64
 }
@@ -164,7 +169,13 @@ func (wk *Worker) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg := req.Config.ToSim()
 	key := runner.Key(cfg)
-	resp := specv1.RunResponse{SchemaVersion: specv1.Version, Worker: wk.Name}
+	// The trace context and spans path are observability-only (excluded
+	// from the cache key): set after Key so they cannot perturb dedupe.
+	cfg.TraceContext = req.Trace
+	if wk.SpansPath != "" {
+		cfg.SpansPath = wk.SpansPath
+	}
+	resp := specv1.RunResponse{SchemaVersion: specv1.Version, Worker: wk.Name, Trace: req.Trace}
 	if wk.Cache != nil {
 		// Another fleet process may have appended this configuration since
 		// our last look; the incremental Reload is cheap.

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"flexsim/internal/api/specv1"
+	"flexsim/internal/obs/fleettrace"
 )
 
 // journalRecord is one journal line.
@@ -121,6 +122,7 @@ func (s *Service) replayJournal(path string) error {
 			}
 			s.sweeps[rec.ID] = sw
 			s.order = append(s.order, rec.ID)
+			s.replayedSweeps++
 			var seq int
 			if _, err := fmt.Sscanf(rec.ID, "s%d-", &seq); err == nil && seq > s.seq {
 				s.seq = seq
@@ -144,6 +146,14 @@ func (s *Service) replayJournal(path string) error {
 			}
 			sw.results[rec.Index] = pr
 			sw.settled++
+			s.replayedPoints++
+			// A replayed completion lands on the same deterministic span the
+			// original execution settled; cause "replay" marks that the
+			// execution happened in a prior process (no attempt spans here).
+			if tr := s.cfg.Trace; tr != nil {
+				pr.Trace = fleettrace.PointContext(sw.traceID, rec.Index).Traceparent()
+				tr.PointSettled(sw.id, sw.traceID, rec.Index, string(rec.Status), rec.Worker, "replay", rec.Error)
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -157,10 +167,17 @@ func (s *Service) replayJournal(path string) error {
 		resumed := 0
 		for i := range sw.configs {
 			if sw.results[i] == nil {
+				if tr := s.cfg.Trace; tr != nil {
+					tr.PointQueued(sw.id, sw.traceID, i)
+				}
+				if m := s.cfg.Metrics; m != nil {
+					m.QueueAdd(1)
+				}
 				s.queue.push(&task{sw: sw, index: i})
 				resumed++
 			}
 		}
+		s.requeuedPoints += resumed
 		if p := s.cfg.Progress; p != nil {
 			if resumed > 0 {
 				p.Start(id)

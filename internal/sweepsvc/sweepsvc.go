@@ -44,6 +44,7 @@ import (
 
 	"flexsim/internal/api/specv1"
 	"flexsim/internal/obs"
+	"flexsim/internal/obs/fleettrace"
 	"flexsim/internal/runner"
 	"flexsim/internal/sim"
 	"flexsim/internal/stats"
@@ -88,6 +89,16 @@ type Config struct {
 	// Progress, if non-nil, receives per-run counters and per-sweep states
 	// for the shared /progress endpoint.
 	Progress *obs.SweepProgress
+	// Trace, if non-nil, receives the fleet span log: every point's path
+	// through the scheduler (queued, attempt on worker, retry with cause,
+	// steal, settle), with trace contexts minted per sweep and propagated
+	// to workers on the wire. Nil (the default) leaves the dispatch path
+	// untouched.
+	Trace *fleettrace.Log
+	// Metrics, if non-nil, receives fleet scheduler telemetry (queue depth,
+	// in-flight, retries by cause, steals, per-worker throughput) for the
+	// shared /metrics endpoint.
+	Metrics *obs.FleetMetrics
 	// Logf, if non-nil, receives operational log lines.
 	Logf func(format string, args ...interface{})
 }
@@ -111,6 +122,12 @@ type Service struct {
 	order   []string
 	journal *journal
 	closed  bool
+
+	// Journal replay summary, written once in New (single-threaded) and
+	// read by ReplayStatus for /healthz.
+	replayedSweeps int
+	replayedPoints int
+	requeuedPoints int
 }
 
 // sweep is one submitted specification and its settled points.
@@ -122,13 +139,22 @@ type sweep struct {
 	configs []sim.Config
 	keys    []string
 	started time.Time
+	// traceID is the sweep's fleet trace ID, minted deterministically from
+	// the sweep id (so a restarted coordinator resumes the same trace).
+	traceID string
+	// queuedAt is index-aligned with configs: when the point entered the
+	// queue (zero for journal-replayed points). Written before the point is
+	// queued, read at settle; the queue's mutex orders the two.
+	queuedAt []time.Time
 
-	mu      sync.Mutex
-	results []*specv1.PointResult // index-aligned; nil = unsettled
-	settled int
-	running int
-	retries int
-	subs    map[chan specv1.Event]struct{}
+	mu          sync.Mutex
+	results     []*specv1.PointResult // index-aligned; nil = unsettled
+	settled     int
+	running     int
+	retries     int
+	stolen      int
+	retryCauses map[string]int // lazily allocated on first tagged retry
+	subs        map[chan specv1.Event]struct{}
 }
 
 // New builds a Service: it replays the journal (resuming unfinished
@@ -214,13 +240,27 @@ func (s *Service) Submit(spec *specv1.Spec) (*specv1.SweepStatus, error) {
 	s.logf("sweep %s: %d point(s) submitted", id, len(sw.configs))
 
 	for i := range sw.configs {
+		sw.queuedAt[i] = time.Now()
+		if tr := s.cfg.Trace; tr != nil {
+			tr.PointQueued(sw.id, sw.traceID, i)
+		}
 		if raw, ok := s.cfg.Cache.GetRaw(sw.keys[i]); ok {
 			s.settle(sw, i, &specv1.PointResult{Status: specv1.StatusCached, Result: raw}, true)
 			continue
 		}
+		if m := s.cfg.Metrics; m != nil {
+			m.QueueAdd(1)
+		}
 		s.queue.push(&task{sw: sw, index: i})
 	}
 	return s.Status(id)
+}
+
+// ReplayStatus reports what the startup journal replay restored: resumed
+// sweeps, points settled from the store, points re-enqueued. All zero when
+// no journal was configured or it was empty.
+func (s *Service) ReplayStatus() (sweeps, settled, requeued int) {
+	return s.replayedSweeps, s.replayedPoints, s.requeuedPoints
 }
 
 func (s *Service) newSweep(id string, spec *specv1.Spec) (*sweep, error) {
@@ -230,10 +270,12 @@ func (s *Service) newSweep(id string, spec *specv1.Spec) (*sweep, error) {
 	}
 	sw := &sweep{
 		svc: s, id: id, name: spec.Name, spec: spec, configs: configs,
-		keys:    make([]string, len(configs)),
-		results: make([]*specv1.PointResult, len(configs)),
-		subs:    make(map[chan specv1.Event]struct{}),
-		started: time.Now(),
+		keys:     make([]string, len(configs)),
+		results:  make([]*specv1.PointResult, len(configs)),
+		queuedAt: make([]time.Time, len(configs)),
+		subs:     make(map[chan specv1.Event]struct{}),
+		started:  time.Now(),
+		traceID:  fleettrace.MintTraceID(id),
 	}
 	for i, c := range configs {
 		sw.keys[i] = runner.Key(c)
@@ -401,49 +443,75 @@ func (s *Service) workerLoop(ex executor) {
 		if !ok {
 			return
 		}
-		if s.runTask(ex, t) {
+		if m := s.cfg.Metrics; m != nil {
+			m.QueueAdd(-1)
+		}
+		if retry, cause := s.runTask(ex, t); retry {
+			if m := s.cfg.Metrics; m != nil {
+				m.QueueAdd(1)
+			}
 			s.queue.pushFront(t)
-			t.sw.addRetry()
-			s.logf("worker %s: point %s[%d] requeued (attempt %d); gating on health", ex.name(), t.sw.id, t.index, t.attempts)
+			s.logf("worker %s: point %s[%d] requeued (%s, attempt %d); gating on health", ex.name(), t.sw.id, t.index, cause, t.attempts)
 			ex.await(s.ctx)
 		}
 	}
 }
 
 // runTask executes one point on ex, settling it unless it should retry
-// elsewhere (returns true: caller requeues) or the service is shutting down
-// mid-run (the journal resumes it).
-func (s *Service) runTask(ex executor, t *task) (retry bool) {
+// elsewhere (returns true with the failure cause: caller requeues) or the
+// service is shutting down mid-run (the journal resumes it).
+func (s *Service) runTask(ex executor, t *task) (retry bool, cause string) {
 	sw, i := t.sw, t.index
 	if sw.isSettled(i) {
-		return false
+		return false, ""
 	}
 	// Another sweep — or another worker's retry — may have completed this
 	// configuration since it was queued: the shared store is the authority.
 	if raw, ok := s.cfg.Cache.GetRaw(sw.keys[i]); ok {
 		s.settle(sw, i, &specv1.PointResult{Status: specv1.StatusCached, Attempts: t.attempts, Result: raw}, true)
-		return false
+		return false, ""
 	}
 
 	t.attempts++
+	if t.lastWorker != "" && t.lastWorker != ex.name() {
+		// A retried point landed on a different worker than its previous
+		// attempt: a steal, in the pull-queue sense.
+		s.noteSteal(sw, i, t.attempts, ex.name(), t.lastWorker)
+	}
+	t.lastWorker = ex.name()
 	sw.markRunning(+1)
 	s.journalRec(journalRecord{Type: "assign", Sweep: sw.id, Index: i, Attempt: t.attempts, Worker: ex.name()})
+	if tr := s.cfg.Trace; tr != nil {
+		tr.AttemptStart(sw.id, sw.traceID, i, t.attempts, ex.name())
+	}
+	if m := s.cfg.Metrics; m != nil {
+		m.RunStart(ex.name())
+	}
 	ctx, cancel := s.ctx, context.CancelFunc(func() {})
 	if s.cfg.PointTimeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.PointTimeout)
 	}
-	r := ex.run(ctx, sw.configs[i])
+	cfg := sw.configs[i]
+	if s.cfg.Trace != nil {
+		cfg.TraceContext = fleettrace.AttemptContext(sw.traceID, i, t.attempts).Traceparent()
+	}
+	start := time.Now()
+	r := ex.run(ctx, cfg)
 	cancel()
+	if m := s.cfg.Metrics; m != nil {
+		m.RunEnd(ex.name(), time.Since(start))
+	}
 	sw.markRunning(-1)
 
 	if r.status == specv1.StatusCancelled || r.retryable {
 		if s.ctx.Err() != nil {
-			return false // shutting down; leave unsettled for the journal
+			return false, "" // shutting down; leave unsettled for the journal
 		}
 	}
 	if r.status == specv1.StatusCancelled {
 		// The per-point deadline fired with the service healthy: retryable.
 		r.retryable = true
+		r.cause = causeTimeout
 		if r.err == nil {
 			r.err = fmt.Errorf("point timed out after %v", s.cfg.PointTimeout)
 		}
@@ -451,8 +519,10 @@ func (s *Service) runTask(ex executor, t *task) (retry bool) {
 	switch {
 	case r.retryable:
 		if t.attempts <= s.maxRetries {
-			return true
+			s.noteRetry(sw, i, t.attempts, &r)
+			return true, r.cause
 		}
+		s.attemptEnd(sw, i, t.attempts, r.worker, "failed", r.cause, r.err)
 		s.settle(sw, i, &specv1.PointResult{
 			Status: specv1.StatusFailed, Worker: r.worker, Attempts: t.attempts,
 			Error: fmt.Sprintf("%v (after %d attempt(s))", r.err, t.attempts),
@@ -462,11 +532,69 @@ func (s *Service) runTask(ex executor, t *task) (retry bool) {
 		if r.err != nil {
 			msg = r.err.Error()
 		}
+		s.attemptEnd(sw, i, t.attempts, r.worker, "failed", "", r.err)
 		s.settle(sw, i, &specv1.PointResult{Status: specv1.StatusFailed, Worker: r.worker, Attempts: t.attempts, Error: msg}, false)
 	default:
+		s.attemptEnd(sw, i, t.attempts, r.worker, string(r.status), "", nil)
 		s.settle(sw, i, &specv1.PointResult{Status: r.status, Worker: r.worker, Attempts: t.attempts, Result: r.raw}, r.persisted)
 	}
-	return false
+	return false, ""
+}
+
+// attemptEnd closes the attempt's span in the fleet span log, if attached.
+func (s *Service) attemptEnd(sw *sweep, index, attempt int, worker, state, cause string, err error) {
+	tr := s.cfg.Trace
+	if tr == nil {
+		return
+	}
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	tr.AttemptEnd(sw.id, sw.traceID, index, attempt, worker, state, cause, msg)
+}
+
+// noteRetry accounts one retryable attempt failure: span log, scheduler
+// metrics, the sweep's per-cause counters, and a non-terminal "retry" event
+// for watchers.
+func (s *Service) noteRetry(sw *sweep, index, attempt int, r *execResult) {
+	sw.addRetry(r.cause)
+	s.attemptEnd(sw, index, attempt, r.worker, "retry", r.cause, r.err)
+	if m := s.cfg.Metrics; m != nil {
+		m.Retry(r.cause)
+	}
+	ev := specv1.Event{Type: "retry", Sweep: sw.id, Cause: r.cause,
+		Point: &specv1.PointResult{
+			SchemaVersion: specv1.Version, Index: index, Load: sw.configs[index].Load,
+			Status: specv1.StatusRetrying, Worker: r.worker, Attempts: attempt,
+		}}
+	if s.cfg.Trace != nil {
+		ev.Trace = fleettrace.AttemptContext(sw.traceID, index, attempt).Traceparent()
+	}
+	sw.notify(ev)
+}
+
+// noteSteal accounts one steal: a retried point picked up by worker after
+// its previous attempt ran on prev.
+func (s *Service) noteSteal(sw *sweep, index, attempt int, worker, prev string) {
+	sw.mu.Lock()
+	sw.stolen++
+	sw.mu.Unlock()
+	if tr := s.cfg.Trace; tr != nil {
+		tr.Steal(sw.id, sw.traceID, index, attempt, worker, prev)
+	}
+	if m := s.cfg.Metrics; m != nil {
+		m.Steal()
+	}
+	ev := specv1.Event{Type: "steal", Sweep: sw.id, Cause: prev,
+		Point: &specv1.PointResult{
+			SchemaVersion: specv1.Version, Index: index, Load: sw.configs[index].Load,
+			Status: specv1.StatusRetrying, Worker: worker, Attempts: attempt,
+		}}
+	if s.cfg.Trace != nil {
+		ev.Trace = fleettrace.AttemptContext(sw.traceID, index, attempt).Traceparent()
+	}
+	sw.notify(ev)
 }
 
 // settle finalizes one point: persists (or adopts) its result bytes in the
@@ -485,6 +613,17 @@ func (s *Service) settle(sw *sweep, index int, pr *specv1.PointResult, adopted b
 		} else {
 			s.cfg.Cache.PutRaw(pr.Key, sw.configs[index].Label, pr.Load, pr.Result)
 		}
+	}
+	if tr := s.cfg.Trace; tr != nil {
+		pr.Trace = fleettrace.PointContext(sw.traceID, index).Traceparent()
+		tr.PointSettled(sw.id, sw.traceID, index, string(pr.Status), pr.Worker, "", pr.Error)
+	}
+	if m := s.cfg.Metrics; m != nil {
+		var latency time.Duration
+		if qt := sw.queuedAt[index]; !qt.IsZero() {
+			latency = time.Since(qt)
+		}
+		m.PointSettled(string(pr.Status), latency)
 	}
 	s.journalRec(journalRecord{
 		Type: "point", Sweep: sw.id, Index: index, Status: pr.Status,
@@ -553,7 +692,13 @@ func (sw *sweep) statusLocked() *specv1.SweepStatus {
 	st := &specv1.SweepStatus{
 		SchemaVersion: specv1.Version, ID: sw.id, Name: sw.name,
 		State: specv1.SweepRunning, Total: len(sw.configs),
-		Running: sw.running, Retries: sw.retries,
+		Running: sw.running, Retries: sw.retries, Stolen: sw.stolen,
+	}
+	if len(sw.retryCauses) > 0 {
+		st.RetryCauses = make(map[string]int, len(sw.retryCauses))
+		for c, n := range sw.retryCauses {
+			st.RetryCauses[c] = n
+		}
 	}
 	for _, pr := range sw.results {
 		if pr == nil {
@@ -589,9 +734,22 @@ func (sw *sweep) markRunning(delta int) {
 	sw.mu.Unlock()
 }
 
-func (sw *sweep) addRetry() {
+func (sw *sweep) addRetry(cause string) {
 	sw.mu.Lock()
 	sw.retries++
+	if cause != "" {
+		if sw.retryCauses == nil {
+			sw.retryCauses = make(map[string]int)
+		}
+		sw.retryCauses[cause]++
+	}
+	sw.mu.Unlock()
+}
+
+// notify broadcasts one non-terminal event (retry, steal) to subscribers.
+func (sw *sweep) notify(ev specv1.Event) {
+	sw.mu.Lock()
+	sw.broadcastLocked(ev)
 	sw.mu.Unlock()
 }
 
@@ -600,6 +758,9 @@ type task struct {
 	sw       *sweep
 	index    int
 	attempts int // executions so far
+	// lastWorker names the worker the previous attempt ran on ("" before
+	// the first); a different worker on the next attempt is a steal.
+	lastWorker string
 }
 
 // workQueue is the shared pull queue: push appends, pushFront prioritizes a

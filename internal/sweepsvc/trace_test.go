@@ -1,0 +1,422 @@
+package sweepsvc
+
+// Fleet-tracing tests: span-log wiring through dispatch/retry/steal, trace
+// propagation into results, scheduler metrics, journal-replay spans, and
+// the SSE fan-out contract under a slow subscriber.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flexsim/internal/api/specv1"
+	"flexsim/internal/obs"
+	"flexsim/internal/obs/fleettrace"
+	"flexsim/internal/sim"
+	"flexsim/internal/stats"
+)
+
+// fakeExec is a scriptable executor for driving runTask directly.
+type fakeExec struct {
+	id string
+	fn func(cfg sim.Config) execResult
+}
+
+func (f *fakeExec) name() string          { return f.id }
+func (f *fakeExec) await(context.Context) {}
+func (f *fakeExec) run(_ context.Context, cfg sim.Config) execResult {
+	return f.fn(cfg)
+}
+
+// traceService builds a service with an in-memory span log and fleet
+// metrics attached.
+func traceService(t *testing.T, cfg Config) (*Service, *fleettrace.Log, *obs.FleetMetrics) {
+	t.Helper()
+	log := fleettrace.NewLog(nil)
+	metrics := obs.NewFleetMetrics()
+	cfg.Trace = log
+	cfg.Metrics = metrics
+	if cfg.Cache == nil {
+		cfg.Cache = openCache(t, t.TempDir())
+	}
+	if cfg.Run == nil {
+		cfg.Run = stubRun
+	}
+	if cfg.LocalWorkers == 0 {
+		cfg.LocalWorkers = 1
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, log, metrics
+}
+
+// TestTraceHappyPath: every settled point carries its root-span traceparent,
+// and the span log holds a queued record, attempt spans and a terminal
+// record per point.
+func TestTraceHappyPath(t *testing.T) {
+	s, log, metrics := traceService(t, Config{})
+	st, err := s.Submit(testSpec("trace-happy", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitDone(t, s, st.ID)
+
+	wantTrace := fleettrace.MintTraceID(st.ID)
+	results, err := s.Results(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range results {
+		want := fleettrace.PointContext(wantTrace, pr.Index).Traceparent()
+		if pr.Trace != want {
+			t.Errorf("point %d trace %q, want %q", pr.Index, pr.Trace, want)
+		}
+	}
+
+	queued, terminal, attempts := 0, 0, 0
+	for _, r := range log.Records() {
+		if r.Trace != wantTrace {
+			t.Fatalf("record on foreign trace: %+v", r)
+		}
+		switch {
+		case r.Kind == "point" && r.State == "queued":
+			queued++
+		case r.Kind == "point" && r.Terminal():
+			terminal++
+		case r.Kind == "attempt" && r.Terminal():
+			attempts++
+		}
+	}
+	if queued != 3 || terminal != 3 || attempts != 3 {
+		t.Fatalf("span log: %d queued, %d terminal, %d attempts; want 3/3/3\n%+v", queued, terminal, attempts, log.Records())
+	}
+
+	done, _, _ := metrics.Settled()
+	if done != 3 {
+		t.Errorf("metrics: %d done, want 3", done)
+	}
+	if metrics.QueueDepth() != 0 {
+		t.Errorf("metrics: queue depth %d after drain, want 0", metrics.QueueDepth())
+	}
+}
+
+// TestTraceRetryAndSteal drives one point through a retryable failure on
+// worker A and a successful second attempt on worker B, asserting the
+// retry/steal span records, cause-tagged counters, and the non-terminal
+// retry/steal events subscribers see.
+func TestTraceRetryAndSteal(t *testing.T) {
+	s, log, metrics := traceService(t, Config{})
+	sw, err := s.newSweep("s77-feed", testSpec("trace-steal", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A manual subscriber sees the retry and steal events.
+	ch := make(chan specv1.Event, 16)
+	sw.subs[ch] = struct{}{}
+
+	task := &task{sw: sw, index: 0}
+	dead := &fakeExec{id: "w-dead", fn: func(sim.Config) execResult {
+		return execResult{status: specv1.StatusFailed, err: errors.New("conn refused"),
+			worker: "w-dead", retryable: true, cause: causeWorkerDeath}
+	}}
+	retry, cause := s.runTask(dead, task)
+	if !retry || cause != causeWorkerDeath {
+		t.Fatalf("first attempt: retry=%v cause=%q, want true/worker-death", retry, cause)
+	}
+
+	var gotCtx string
+	ok := &fakeExec{id: "w-ok", fn: func(cfg sim.Config) execResult {
+		gotCtx = cfg.TraceContext
+		raw, err := specv1.EncodeResult(stubResult(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return execResult{status: specv1.StatusDone, raw: raw, worker: "w-ok"}
+	}}
+	retry, _ = s.runTask(ok, task)
+	if retry {
+		t.Fatal("second attempt should settle")
+	}
+
+	// The executed config carried the attempt's span context.
+	wantCtx := fleettrace.AttemptContext(sw.traceID, 0, 2).Traceparent()
+	if gotCtx != wantCtx {
+		t.Errorf("propagated trace context %q, want %q", gotCtx, wantCtx)
+	}
+
+	// Span log: attempt-1 retry with cause, steal on w-ok, attempt-2 done.
+	var sawRetry, sawSteal, sawDone bool
+	for _, r := range log.Records() {
+		switch {
+		case r.Kind == "attempt" && r.State == "retry":
+			sawRetry = true
+			if r.Cause != causeWorkerDeath || r.Worker != "w-dead" || r.Attempt != 1 {
+				t.Errorf("retry record: %+v", r)
+			}
+		case r.Kind == "event" && r.State == "steal":
+			sawSteal = true
+			if r.Worker != "w-ok" || r.Cause != "w-dead" || r.Attempt != 2 {
+				t.Errorf("steal record: %+v", r)
+			}
+		case r.Kind == "attempt" && r.State == "done":
+			sawDone = true
+		}
+	}
+	if !sawRetry || !sawSteal || !sawDone {
+		t.Fatalf("span log missing retry/steal/done: %+v", log.Records())
+	}
+
+	if metrics.Retries()[causeWorkerDeath] != 1 || metrics.Steals() != 1 {
+		t.Errorf("metrics: retries %v steals %d", metrics.Retries(), metrics.Steals())
+	}
+
+	sw.mu.Lock()
+	st := sw.statusLocked()
+	sw.mu.Unlock()
+	if st.Retries != 1 || st.Stolen != 1 || st.RetryCauses[causeWorkerDeath] != 1 {
+		t.Errorf("status: %+v", st)
+	}
+
+	// Subscribers got non-terminal retry and steal events with causes.
+	var events []specv1.Event
+	for len(ch) > 0 {
+		events = append(events, <-ch)
+	}
+	var evRetry, evSteal *specv1.Event
+	for i := range events {
+		switch events[i].Type {
+		case "retry":
+			evRetry = &events[i]
+		case "steal":
+			evSteal = &events[i]
+		}
+	}
+	if evRetry == nil || evRetry.Cause != causeWorkerDeath || evRetry.Point.Status != specv1.StatusRetrying {
+		t.Fatalf("retry event: %+v", evRetry)
+	}
+	if evSteal == nil || evSteal.Cause != "w-dead" || evSteal.Point.Worker != "w-ok" {
+		t.Fatalf("steal event: %+v", evSteal)
+	}
+	if evRetry.Trace == "" {
+		t.Error("retry event missing trace context")
+	}
+}
+
+// TestTracePanicRetry: an isolated panic on the first execution is a
+// cause-tagged retry through the real worker loop.
+func TestTracePanicRetry(t *testing.T) {
+	var calls atomic.Int64
+	s, log, metrics := traceService(t, Config{
+		Run: func(ctx context.Context, cfg sim.Config) (*stats.Result, error) {
+			if calls.Add(1) == 1 {
+				panic("induced panic")
+			}
+			return stubResult(cfg), nil
+		},
+	})
+	st, err := s.Submit(testSpec("trace-panic", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := awaitDone(t, s, st.ID)
+	if final.Done != 1 || final.Retries != 1 {
+		t.Fatalf("final status: %+v", final)
+	}
+	if final.RetryCauses[causePanic] != 1 {
+		t.Fatalf("retry causes: %+v", final.RetryCauses)
+	}
+
+	sawRetry := false
+	for _, r := range log.Records() {
+		if r.Kind == "attempt" && r.State == "retry" {
+			sawRetry = true
+			if r.Cause != causePanic || r.Attempt != 1 {
+				t.Errorf("panic retry record: %+v", r)
+			}
+		}
+	}
+	if !sawRetry {
+		t.Fatalf("no retry record in span log: %+v", log.Records())
+	}
+	if metrics.Retries()[causePanic] != 1 {
+		t.Errorf("metrics retries: %v", metrics.Retries())
+	}
+}
+
+// TestJournalReplaySpans: a restarted coordinator emits replayed-point
+// records on the same deterministic trace, and ReplayStatus reports the
+// restore for /healthz.
+func TestJournalReplaySpans(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "journal.jsonl")
+	cache := openCache(t, dir)
+
+	s1, err := New(Config{Cache: cache, JournalPath: journal, LocalWorkers: 1, Run: stubRun})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s1.Submit(testSpec("trace-replay", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitDone(t, s1, st.ID)
+	s1.Drain(time.Second)
+
+	cache2 := openCache(t, dir)
+	log := fleettrace.NewLog(nil)
+	s2, err := New(Config{Cache: cache2, JournalPath: journal, LocalWorkers: 1, Run: stubRun, Trace: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	sweeps, settled, requeued := s2.ReplayStatus()
+	if sweeps != 1 || settled != 3 || requeued != 0 {
+		t.Fatalf("replay status %d/%d/%d, want 1/3/0", sweeps, settled, requeued)
+	}
+
+	wantTrace := fleettrace.MintTraceID(st.ID)
+	replayed := 0
+	for _, r := range log.Records() {
+		if r.Kind != "point" || !r.Terminal() {
+			t.Fatalf("unexpected replay record: %+v", r)
+		}
+		if r.Cause != "replay" || r.Trace != wantTrace {
+			t.Fatalf("replay record off-trace or untagged: %+v", r)
+		}
+		if r.Span != fleettrace.MintSpanID(wantTrace, r.Point, 0) {
+			t.Fatalf("replayed point %d not on its root span: %+v", r.Point, r)
+		}
+		replayed++
+	}
+	if replayed != 3 {
+		t.Fatalf("%d replayed records, want 3", replayed)
+	}
+
+	// The replayed results also carry their traceparent.
+	results, err := s2.Results(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range results {
+		if pr.Trace != fleettrace.PointContext(wantTrace, pr.Index).Traceparent() {
+			t.Errorf("replayed point %d trace %q", pr.Index, pr.Trace)
+		}
+	}
+}
+
+// TestSubscribeSlowSubscriber pins the SSE fan-out contract: a subscriber
+// that never drains blocks nothing — the sweep completes, the subscriber
+// keeps exactly its 64-event buffer (later events drop), and channel
+// closure is the terminal signal. A late subscriber still gets done.
+func TestSubscribeSlowSubscriber(t *testing.T) {
+	release := make(chan struct{})
+	s, _, _ := traceService(t, Config{
+		Run: func(ctx context.Context, cfg sim.Config) (*stats.Result, error) {
+			<-release
+			return stubResult(cfg), nil
+		},
+	})
+	// 40 distinct points -> 81 events (point+progress per point, one done):
+	// more than the 64-slot subscriber buffer.
+	base := sim.Quick()
+	base.Label = "trace-slow"
+	loads := make([]float64, 40)
+	for i := range loads {
+		loads[i] = 0.01 * float64(i+1)
+	}
+	st, err := s.Submit(specv1.LoadSpec("trace-slow", base, loads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subscribe while every run is still gated, so all 81 events are
+	// offered to this (never-reading) subscriber.
+	slow, cancelSlow, err := s.Subscribe(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancelSlow()
+	close(release)
+
+	// The sweep completes even though the slow subscriber never reads.
+	final := awaitDone(t, s, st.ID)
+	if final.Done != 40 {
+		t.Fatalf("final status: %+v", final)
+	}
+
+	// The slow channel holds exactly its buffer and is closed (the range
+	// terminates): deterministic drop-past-64, closure as terminal signal.
+	buffered := 0
+	for range slow {
+		buffered++
+	}
+	if buffered != 64 {
+		t.Fatalf("slow subscriber buffered %d events, want exactly 64", buffered)
+	}
+
+	// A late subscriber to the settled sweep gets the terminal done event
+	// immediately, then closure.
+	late, cancelLate, err := s.Subscribe(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancelLate()
+	ev, ok := <-late
+	if !ok || ev.Type != "done" || ev.Stat.State != specv1.SweepDone {
+		t.Fatalf("late subscriber: %+v (open=%v)", ev, ok)
+	}
+	if _, ok := <-late; ok {
+		t.Fatal("late subscriber channel not closed after done")
+	}
+}
+
+// TestWorkerTraceEcho: a fleet worker threads the request's trace context
+// into the executed sim.Config and echoes it in the response.
+func TestWorkerTraceEcho(t *testing.T) {
+	var gotCtx string
+	wk := &Worker{Name: "w-echo", Run: func(_ context.Context, cfg sim.Config) (*stats.Result, error) {
+		gotCtx = cfg.TraceContext
+		return stubResult(cfg), nil
+	}}
+	srv, err := obs.Serve("127.0.0.1:0", obs.WithHandler("/api/v1/", wk.Handler()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tp := "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01"
+	cfg := sim.Quick()
+	cfg.Label = "trace-echo"
+	req := specv1.RunRequest{SchemaVersion: specv1.Version, Config: specv1.FromSim(cfg), Trace: tp}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+srv.Addr()+"/api/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: HTTP %d", resp.StatusCode)
+	}
+	wr, err := specv1.DecodeRunResponse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Status != specv1.StatusDone || wr.Trace != tp {
+		t.Fatalf("response: status %s trace %q, want done/%q", wr.Status, wr.Trace, tp)
+	}
+	if gotCtx != tp {
+		t.Fatalf("executed config trace context %q, want %q", gotCtx, tp)
+	}
+}

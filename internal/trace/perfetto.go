@@ -19,19 +19,22 @@ const (
 	perfettoMessagesPID = 1
 	perfettoDetectorPID = 2
 	perfettoEnginePID   = 3
+	perfettoFleetPID    = 4
 )
 
 // perfettoEvent is the wire form of one trace-event object. Dur is a
 // pointer so complete events serialize dur even when zero while metadata
 // events omit it.
 type perfettoEvent struct {
-	Name string         `json:"name"`
-	Cat  string         `json:"cat,omitempty"`
-	Ph   string         `json:"ph"`
-	Ts   int64          `json:"ts"`
-	Dur  *int64         `json:"dur,omitempty"`
-	Pid  int            `json:"pid"`
-	Tid  int64          `json:"tid"`
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	Ph   string `json:"ph"`
+	Ts   int64  `json:"ts"`
+	Dur  *int64 `json:"dur,omitempty"`
+	Pid  int    `json:"pid"`
+	Tid  int64  `json:"tid"`
+	// S scopes instant ("i") events; "t" = thread-scoped.
+	S    string         `json:"s,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -53,6 +56,9 @@ type PerfettoWriter struct {
 	// the first of them. Lazily allocated: runs without engine profiling
 	// never touch it.
 	engTids map[int]bool
+	// fleetTids likewise for fleet-worker threads (pid 4); only the sweep
+	// coordinator's fleet timeline export touches it.
+	fleetTids map[int64]bool
 }
 
 // NewPerfetto returns a writer streaming trace-event JSON to w. The caller
@@ -203,6 +209,62 @@ func (p *PerfettoWriter) EngineInterval(shard int, fromCycle, toCycle int64, pha
 		emit(name, phaseNs[i])
 	}
 	emit("barrier-wait", waitNs)
+}
+
+// TraceContext stamps the trace with the fleet span context this run
+// executes under (a W3C traceparent minted by the sweep coordinator), as a
+// metadata event. A per-run artifact produced by a fleet worker is thereby
+// joinable to the coordinator's fleet timeline by trace and span ID.
+func (p *PerfettoWriter) TraceContext(tc string) {
+	if p.closed || tc == "" {
+		return
+	}
+	p.write(perfettoEvent{Name: "trace_context", Ph: "M", Pid: perfettoMessagesPID,
+		Args: map[string]any{"traceparent": tc}})
+}
+
+// FleetThread registers one worker thread of the fleet process (pid 4),
+// emitting the process metadata ahead of the first thread. The fleet
+// process renders a distributed sweep's scheduler timeline: the caller
+// (obs/fleettrace) lays one thread per worker and one slice per attempt.
+func (p *PerfettoWriter) FleetThread(tid int64, name string) {
+	if p.closed {
+		return
+	}
+	if p.fleetTids == nil {
+		p.fleetTids = make(map[int64]bool)
+		p.write(perfettoEvent{Name: "process_name", Ph: "M", Pid: perfettoFleetPID,
+			Args: map[string]any{"name": "fleet"}})
+	}
+	if p.fleetTids[tid] {
+		return
+	}
+	p.fleetTids[tid] = true
+	p.write(perfettoEvent{Name: "thread_name", Ph: "M", Pid: perfettoFleetPID, Tid: tid,
+		Args: map[string]any{"name": name}})
+}
+
+// FleetSlice renders one complete slice (an execution attempt) on a fleet
+// worker thread; ts and dur are microseconds on the fleet wall clock.
+func (p *PerfettoWriter) FleetSlice(tid int64, name string, ts, dur int64, args map[string]any) {
+	if p.closed {
+		return
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	p.write(perfettoEvent{Name: name, Cat: "fleet", Ph: "X",
+		Ts: ts, Dur: &dur, Pid: perfettoFleetPID, Tid: tid, Args: args})
+}
+
+// FleetInstant renders one thread-scoped instant event (a retry or a
+// steal) on a fleet worker thread.
+func (p *PerfettoWriter) FleetInstant(tid int64, name string, ts int64, args map[string]any) {
+	if p.closed {
+		return
+	}
+	p.write(perfettoEvent{Name: name, Cat: "fleet", Ph: "i",
+		Ts: ts, Pid: perfettoFleetPID, Tid: tid, S: "t", Args: args})
 }
 
 // engineThreadMeta emits the engine process metadata (once) and the worker
